@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every table/figure of the paper (several minutes at full scale).
+experiments:
+	$(GO) run ./cmd/dpbench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/compare
+	$(GO) run ./examples/halo
+	$(GO) run ./examples/decisiongraph
+	$(GO) run ./examples/accuracy
+	$(GO) run ./examples/distributed
+
+clean:
+	$(GO) clean ./...

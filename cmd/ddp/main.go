@@ -1,0 +1,226 @@
+// Command ddp clusters a CSV of points with one of the distributed
+// Density Peaks algorithms (or the exact sequential reference) and writes
+// per-point cluster labels.
+//
+// Local (multicore) usage:
+//
+//	ddp -input points.csv -algo lsh -k 7 -out labels.csv
+//	ddp -input points.csv -algo basic -graph        # print decision graph
+//	ddp -input points.csv -algo eddpc -rho-min 14 -delta-min 40
+//	ddp -input points.csv -algo lsh -kernel gaussian -halo
+//
+// Distributed usage — ddp becomes the MapReduce master and waits for
+// workers (started with `mrd worker -master <this host>:7070`):
+//
+//	ddp -input points.csv -algo lsh -k 7 -master-listen :7070 -min-workers 2
+//
+// The input is one point per row, comma-separated float coordinates
+// (use -labeled if the last column is a ground-truth label to ignore).
+// When no selection flags are given, the number of clusters is suggested
+// automatically from the decision graph's γ spectrum.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dp"
+	"repro/internal/eddpc"
+	"repro/internal/kmeansmr"
+	"repro/internal/mapreduce"
+	"repro/internal/mapreduce/rpcmr"
+)
+
+func main() {
+	var (
+		input    = flag.String("input", "", "input CSV file (required)")
+		labeled  = flag.Bool("labeled", false, "treat the last CSV column as a label to ignore")
+		algo     = flag.String("algo", "lsh", "algorithm: lsh | basic | eddpc | exact")
+		kernel   = flag.String("kernel", "cutoff", "density kernel: cutoff | gaussian")
+		k        = flag.Int("k", 0, "select the k top-gamma peaks (0 = box flags or auto-suggest)")
+		rhoMin   = flag.Float64("rho-min", 0, "decision-graph box: minimum rho")
+		deltaMin = flag.Float64("delta-min", 0, "decision-graph box: minimum delta")
+		accuracy = flag.Float64("accuracy", 0.99, "LSH-DDP expected accuracy A")
+		mFlag    = flag.Int("m", 10, "LSH-DDP hash groups M")
+		piFlag   = flag.Int("pi", 3, "LSH-DDP hash functions per group")
+		dc       = flag.Float64("dc", 0, "cutoff distance (0 = 2% percentile rule)")
+		block    = flag.Int("block", 500, "Basic-DDP block size")
+		seed     = flag.Int64("seed", 1, "random seed")
+		graph    = flag.Bool("graph", false, "print an ASCII decision graph")
+		svg      = flag.String("svg", "", "write the decision graph as SVG to this file")
+		halo     = flag.Bool("halo", false, "also flag halo (border/noise) points in the output")
+		out      = flag.String("out", "", "write labels CSV here ('-' or empty = stdout)")
+		verbose  = flag.Bool("v", false, "log per-job progress")
+
+		masterListen = flag.String("master-listen", "", "run distributed: listen for mrd workers on this address")
+		minWorkers   = flag.Int("min-workers", 1, "distributed: wait for at least this many workers")
+		workerWait   = flag.Duration("worker-wait", time.Minute, "distributed: how long to wait for workers")
+	)
+	flag.Parse()
+	if *input == "" {
+		fmt.Fprintln(os.Stderr, "ddp: -input is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ds, err := dataset.ReadCSVFile(*input, "input", *labeled)
+	fatal(err)
+
+	var kern dp.Kernel
+	switch *kernel {
+	case "cutoff":
+		kern = dp.KernelCutoff
+	case "gaussian":
+		kern = dp.KernelGaussian
+	default:
+		fmt.Fprintf(os.Stderr, "ddp: unknown kernel %q\n", *kernel)
+		os.Exit(2)
+	}
+
+	engine, cleanup, err := buildEngine(*masterListen, *minWorkers, *workerWait)
+	fatal(err)
+	defer cleanup()
+
+	cfg := core.Config{
+		Engine: engine,
+		Dc:     *dc,
+		Seed:   *seed,
+		Kernel: kern,
+	}
+	if *verbose {
+		cfg.Log = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	start := time.Now()
+	res, err := runAlgorithm(ds, *algo, cfg, *accuracy, *mFlag, *piFlag, *block)
+	fatal(err)
+
+	g, err := res.Graph()
+	fatal(err)
+	g.Rectify()
+	var peaks []int32
+	switch {
+	case *k > 0:
+		peaks = g.SelectTopK(*k)
+	case *rhoMin > 0 || *deltaMin > 0:
+		peaks = g.SelectBox(*rhoMin, *deltaMin)
+	default:
+		suggested := g.SuggestK(64)
+		fmt.Fprintf(os.Stderr, "ddp: auto-suggested k = %d (override with -k or -rho-min/-delta-min)\n", suggested)
+		peaks = g.SelectTopK(suggested)
+	}
+	labels, err := g.Assign(ds, peaks)
+	fatal(err)
+
+	var haloFlags []bool
+	if *halo {
+		hr, err := core.RunLSHHalo(ds, res.Rho, labels, res.Stats.Dc, core.LSHConfig{
+			Config: cfg, Accuracy: *accuracy, M: *mFlag, Pi: *piFlag,
+		})
+		fatal(err)
+		haloFlags = hr.Halo
+	}
+
+	fmt.Fprintf(os.Stderr, "ddp: %s on %d points (dim %d): %d clusters, dc=%.4g, %.2fs, shuffle=%.2fMB, dist=%d\n",
+		*algo, ds.N(), ds.Dim(), len(peaks), res.Stats.Dc, time.Since(start).Seconds(),
+		float64(res.Stats.ShuffleBytes)/(1<<20), res.Stats.DistanceComputations)
+
+	if *graph {
+		fmt.Fprint(os.Stderr, g.Render(100, 28, peaks))
+	}
+	if *svg != "" {
+		f, err := os.Create(*svg)
+		fatal(err)
+		fatal(g.RenderSVG(f, 640, 480, peaks))
+		fatal(f.Close())
+		fmt.Fprintf(os.Stderr, "ddp: decision graph written to %s\n", *svg)
+	}
+
+	w := os.Stdout
+	if *out != "" && *out != "-" {
+		f, err := os.Create(*out)
+		fatal(err)
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	for i, l := range labels {
+		if haloFlags != nil {
+			h := 0
+			if haloFlags[i] {
+				h = 1
+			}
+			fmt.Fprintf(bw, "%d,%d,%d\n", i, l, h)
+		} else {
+			fmt.Fprintf(bw, "%d,%d\n", i, l)
+		}
+	}
+	fatal(bw.Flush())
+}
+
+// buildEngine returns the local engine, or boots a master and waits for
+// workers when -master-listen is set.
+func buildEngine(listen string, minWorkers int, wait time.Duration) (mapreduce.Engine, func(), error) {
+	if listen == "" {
+		return &mapreduce.LocalEngine{}, func() {}, nil
+	}
+	m, err := rpcmr.NewMaster(listen)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "ddp: master listening on %s; waiting for %d worker(s)...\n", m.Addr(), minWorkers)
+	if err := m.WaitWorkers(minWorkers, wait); err != nil {
+		m.Close()
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "ddp: %d worker(s) connected\n", m.WorkerCount())
+	return m, func() { m.Close() }, nil
+}
+
+func runAlgorithm(ds *dataset.DS, algo string, cfg core.Config, accuracy float64, m, pi, block int) (*core.Result, error) {
+	switch algo {
+	case "lsh":
+		return core.RunLSHDDP(ds, core.LSHConfig{Config: cfg, Accuracy: accuracy, M: m, Pi: pi})
+	case "basic":
+		return core.RunBasicDDP(ds, core.BasicConfig{Config: cfg, BlockSize: block})
+	case "eddpc":
+		return eddpc.Run(ds, eddpc.Config{Config: cfg})
+	case "exact":
+		dcv := cfg.Dc
+		if dcv <= 0 {
+			dcv = dp.CutoffByPercentile(ds, 0.02, cfg.Seed)
+		}
+		ref, err := dp.Compute(ds, dcv, dp.Options{Kernel: cfg.Kernel, GridIndex: true})
+		if err != nil {
+			return nil, err
+		}
+		res := &core.Result{Rho: ref.Rho, Delta: ref.Delta, Upslope: ref.Upslope}
+		res.Stats.Dc = dcv
+		return res, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+// registerAll makes every job available when this process acts as master
+// for remote workers started from the same binary family.
+func init() {
+	rpcmr.RegisterJobs(core.JobFactories())
+	rpcmr.RegisterJobs(core.HaloJobFactories())
+	rpcmr.RegisterJobs(eddpc.JobFactories())
+	rpcmr.RegisterJobs(kmeansmr.JobFactories())
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ddp: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,138 @@
+// Command mrd runs the distributed daemons: the MapReduce master, a
+// MapReduce worker (with every job of this repository registered), and the
+// mini-DFS namenode/datanode.
+//
+// A three-terminal session:
+//
+//	mrd master -addr :7070
+//	mrd worker -master localhost:7070 -addr :0       # repeat per worker
+//	ddp ... (with a master-backed engine; see examples/distributed)
+//
+// And for the DFS:
+//
+//	mrd namenode -addr :7080 -replication 2
+//	mrd datanode -namenode localhost:7080 -addr :0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/eddpc"
+	"repro/internal/kmeansmr"
+	"repro/internal/mapreduce/rpcmr"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "master":
+		runMaster(os.Args[2:])
+	case "worker":
+		runWorker(os.Args[2:])
+	case "namenode":
+		runNameNode(os.Args[2:])
+	case "datanode":
+		runDataNode(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mrd master|worker|namenode|datanode [flags]")
+	os.Exit(2)
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	<-ch
+}
+
+func runMaster(args []string) {
+	fs := flag.NewFlagSet("master", flag.ExitOnError)
+	addr := fs.String("addr", ":7070", "listen address")
+	fs.Parse(args)
+	m, err := rpcmr.NewMaster(*addr)
+	fatal(err)
+	fmt.Printf("mrd: master listening on %s\n", m.Addr())
+	waitForSignal()
+	for _, rec := range m.History() {
+		status := "ok"
+		if rec.Failed {
+			status = "FAILED"
+		}
+		fmt.Printf("mrd: job %3d %-24s %-6s %8.2fs  maps=%d reduces=%d shuffleB=%d\n",
+			rec.ID, rec.Name, status, rec.Wall.Seconds(), rec.Maps, rec.Reduces,
+			rec.Counters["shuffle.bytes"])
+	}
+	m.Close()
+}
+
+func runWorker(args []string) {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	master := fs.String("master", "localhost:7070", "master address")
+	addr := fs.String("addr", ":0", "listen address for shuffle fetches")
+	fs.Parse(args)
+	registerAllJobs()
+	w, err := rpcmr.StartWorker(*master, *addr)
+	fatal(err)
+	fmt.Printf("mrd: worker %d serving on %s (master %s)\n", w.ID(), w.Addr(), *master)
+	waitForSignal()
+	w.Close()
+}
+
+// registerAllJobs installs every job factory in the repository so a worker
+// can execute any pipeline.
+func registerAllJobs() {
+	rpcmr.RegisterJobs(core.JobFactories())
+	rpcmr.RegisterJobs(core.HaloJobFactories())
+	rpcmr.RegisterJobs(eddpc.JobFactories())
+	rpcmr.RegisterJobs(kmeansmr.JobFactories())
+}
+
+func runNameNode(args []string) {
+	fs := flag.NewFlagSet("namenode", flag.ExitOnError)
+	addr := fs.String("addr", ":7080", "listen address")
+	repl := fs.Int("replication", 2, "block replication factor")
+	fs.Parse(args)
+	nn, err := dfs.NewNameNode(*addr, *repl)
+	fatal(err)
+	fmt.Printf("mrd: namenode listening on %s (replication %d)\n", nn.Addr(), *repl)
+	waitForSignal()
+	nn.Close()
+}
+
+func runDataNode(args []string) {
+	fs := flag.NewFlagSet("datanode", flag.ExitOnError)
+	nameAddr := fs.String("namenode", "localhost:7080", "namenode address")
+	addr := fs.String("addr", ":0", "listen address")
+	dir := fs.String("dir", "", "store blocks as files under this directory (empty = in memory)")
+	fs.Parse(args)
+	var dn *dfs.DataNode
+	var err error
+	if *dir != "" {
+		dn, err = dfs.StartDataNodeDir(*nameAddr, *addr, *dir)
+	} else {
+		dn, err = dfs.StartDataNode(*nameAddr, *addr)
+	}
+	fatal(err)
+	fmt.Printf("mrd: datanode serving on %s (namenode %s)\n", dn.Addr(), *nameAddr)
+	waitForSignal()
+	dn.Close()
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,79 @@
+// Accuracy/efficiency trade-off: Section V in action. The example sweeps
+// the expected accuracy A, letting the solver pick the minimal hash width
+// each time, and reports realized accuracy (τ₁, τ₂ against exact DP) next
+// to cost (runtime, distance computations). It then asks the Section V
+// cost model to recommend an (M, π, w) configuration for A=0.99.
+//
+// Run with:
+//
+//	go run ./examples/accuracy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dp"
+	"repro/internal/evalmetrics"
+	"repro/internal/tuning"
+)
+
+func main() {
+	ds := dataset.BigCross(6000, 42)
+	dc := dp.CutoffByPercentile(ds, 0.02, 1)
+	fmt.Printf("BigCross sample: %d points, dim %d, dc=%.4g\n", ds.N(), ds.Dim(), dc)
+
+	fmt.Println("computing exact DP reference...")
+	exact, err := dp.Compute(ds, dc, dp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-6s %-10s %-8s %-8s %-9s %-12s\n", "A", "w", "tau1", "tau2", "runtime", "dist")
+	for _, accuracy := range []float64{0.5, 0.7, 0.9, 0.95, 0.99} {
+		res, err := core.RunLSHDDP(ds, core.LSHConfig{
+			Config:   core.Config{Seed: 1, Dc: dc},
+			Accuracy: accuracy, M: 10, Pi: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tau1, err := evalmetrics.Tau1(exact.Rho, res.Rho)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tau2, err := evalmetrics.Tau2(exact.Rho, res.Rho)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6.2f %-10.4g %-8.4f %-8.4f %-9s %-12d\n",
+			accuracy, res.Stats.W, tau1, tau2,
+			fmt.Sprintf("%.3fs", res.Stats.Wall.Seconds()), res.Stats.DistanceComputations)
+	}
+
+	// Parameter recommendation from the Section V cost model, with the
+	// shuffle/compute time ratio mu calibrated on this machine.
+	mu := tuning.CalibrateMu(ds.Dim(), 1)
+	fmt.Printf("\ncalibrated mu (shuffle-byte time / distance time) = %.4f\n", mu)
+	fmt.Println("cost-model recommendation for A=0.99 (cheapest first):")
+	model := &tuning.Model{N: ds.N(), Dim: ds.Dim(), Dc: dc, Seed: 1, Mu: mu}
+	costs, err := model.Recommend(ds, 0.99, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-4s %-4s %-10s %-12s %-14s %-10s\n", "M", "pi", "w", "E[shuffle]", "E[distances]", "accuracy")
+	for i, c := range costs {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("%-4d %-4d %-10.4g %-12s %-14s %-10.4f\n",
+			c.M, c.Pi, c.W,
+			fmt.Sprintf("%.1fMB", c.ShuffleBytes/(1<<20)),
+			fmt.Sprintf("%.2gM", c.Distances/1e6),
+			c.Accuracy)
+	}
+	best := costs[0]
+	fmt.Printf("\nrecommended: M=%d pi=%d w=%.4g\n", best.M, best.Pi, best.W)
+}

@@ -1,0 +1,236 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dfs"
+	"repro/internal/dfsio"
+	"repro/internal/dp"
+	"repro/internal/eddpc"
+	"repro/internal/evalmetrics"
+	"repro/internal/kmeansmr"
+	"repro/internal/mapreduce"
+	"repro/internal/mapreduce/rpcmr"
+)
+
+// TestExactAlgorithmsAgreeBitForBit cross-checks all three exact paths —
+// sequential DP, Basic-DDP, EDDPC — on the same data.
+func TestExactAlgorithmsAgreeBitForBit(t *testing.T) {
+	ds := dataset.KDD(1500, 7)
+	dc := dp.CutoffByPercentile(ds, 0.02, 1)
+	eng := &mapreduce.LocalEngine{Parallelism: 4}
+
+	seq, err := dp.Compute(ds, dc, dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic, err := core.RunBasicDDP(ds, core.BasicConfig{
+		Config: core.Config{Engine: eng, Dc: dc},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := eddpc.Run(ds, eddpc.Config{
+		Config: core.Config{Engine: eng, Dc: dc, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Rho {
+		if basic.Rho[i] != seq.Rho[i] || ed.Rho[i] != seq.Rho[i] {
+			t.Fatalf("rho[%d]: seq %v basic %v eddpc %v", i, seq.Rho[i], basic.Rho[i], ed.Rho[i])
+		}
+		if math.Abs(basic.Delta[i]-seq.Delta[i]) > 1e-9 || math.Abs(ed.Delta[i]-seq.Delta[i]) > 1e-9 {
+			t.Fatalf("delta[%d]: seq %v basic %v eddpc %v", i, seq.Delta[i], basic.Delta[i], ed.Delta[i])
+		}
+	}
+}
+
+// TestFullDistributedPipeline is the end-to-end story: stage a data set in
+// the replicated DFS, run LSH-DDP on a TCP MapReduce cluster, cluster the
+// result, and validate quality against ground truth.
+func TestFullDistributedPipeline(t *testing.T) {
+	// DFS: namenode + 2 datanodes.
+	nn, err := dfs.NewNameNode("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nn.Close()
+	for i := 0; i < 2; i++ {
+		dn, err := dfs.StartDataNode(nn.Addr(), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dn.Close()
+	}
+	fsc, err := dfs.NewClient(nn.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fsc.Close()
+	fsc.BlockSize = 32 << 10
+
+	// Stage the input.
+	ds := dataset.Blobs("integration", 1200, 4, 5, 300, 3, 9)
+	if err := dfsio.SaveDataset(fsc, "in/blobs", ds, 4); err != nil {
+		t.Fatal(err)
+	}
+	staged, err := dfsio.LoadDataset(fsc, "in/blobs", "integration")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// MapReduce cluster: master + 3 workers.
+	rpcmr.RegisterJobs(core.JobFactories())
+	rpcmr.RegisterJobs(core.HaloJobFactories())
+	rpcmr.RegisterJobs(eddpc.JobFactories())
+	rpcmr.RegisterJobs(kmeansmr.JobFactories())
+	master, err := rpcmr.NewMaster("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+	var workers []*rpcmr.Worker
+	for i := 0; i < 3; i++ {
+		w, err := rpcmr.StartWorker(master.Addr(), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+
+	res, err := core.RunLSHDDP(staged, core.LSHConfig{
+		Config:   core.Config{Engine: master, Seed: 3},
+		Accuracy: 0.99, M: 8, Pi: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks, labels, err := res.Cluster(staged, core.SelectTopK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peaks) != 5 {
+		t.Fatalf("selected %d peaks", len(peaks))
+	}
+	ari, err := evalmetrics.ARI(staged.Labels, evalmetrics.IntLabels(labels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.95 {
+		t.Fatalf("distributed pipeline ARI = %v", ari)
+	}
+
+	// Halo detection on the same cluster engine.
+	halo, err := core.RunLSHHalo(staged, res.Rho, labels, res.Stats.Dc, core.LSHConfig{
+		Config:   core.Config{Engine: master, Seed: 3},
+		Accuracy: 0.99, M: 8, Pi: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(halo.Halo) != staged.N() {
+		t.Fatalf("halo flags = %d", len(halo.Halo))
+	}
+
+	// Store the labels back into the DFS and read them out.
+	out := make([]mapreduce.Pair, len(labels))
+	for i, l := range labels {
+		out[i] = mapreduce.Pair{Key: "label", Value: []byte{byte(l)}}
+	}
+	if err := dfsio.SavePairs(fsc, "out/labels", out, 2); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dfsio.LoadPairs(fsc, "out/labels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(labels) {
+		t.Fatalf("round-tripped %d labels", len(back))
+	}
+}
+
+// TestLSHDDPApproximatesExactOnAllRegistrySets sweeps every Table II data
+// set (shrunk) and checks τ₂ stays high at A=0.99.
+func TestLSHDDPApproximatesExactOnAllRegistrySets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("registry sweep in -short mode")
+	}
+	eng := &mapreduce.LocalEngine{Parallelism: 4}
+	for _, spec := range dataset.Registry() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			ds := spec.Gen(11)
+			if ds.N() > 2500 {
+				ds.Points = ds.Points[:2500]
+				if ds.Labels != nil {
+					ds.Labels = ds.Labels[:2500]
+				}
+			}
+			dc := dp.CutoffByPercentile(ds, 0.02, 1)
+			exact, err := dp.Compute(ds, dc, dp.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.RunLSHDDP(ds, core.LSHConfig{
+				Config:   core.Config{Engine: eng, Dc: dc, Seed: 5},
+				Accuracy: 0.99, M: 10, Pi: 3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tau2, err := evalmetrics.Tau2(exact.Rho, res.Rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tau2 < 0.95 {
+				t.Fatalf("tau2 = %v on %s", tau2, spec.Name)
+			}
+		})
+	}
+}
+
+// TestDistributedKMeansOnCluster runs kmeansmr on the rpcmr engine.
+func TestDistributedKMeansOnCluster(t *testing.T) {
+	rpcmr.RegisterJobs(kmeansmr.JobFactories())
+	master, err := rpcmr.NewMaster("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+	var workers []*rpcmr.Worker
+	for i := 0; i < 2; i++ {
+		w, err := rpcmr.StartWorker(master.Addr(), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	ds := dataset.Blobs("kmr-rpc", 500, 3, 3, 400, 2, 13)
+	res, err := kmeansmr.Run(ds, kmeansmr.Config{
+		Engine: master, K: 3, MaxIter: 15, Tol: 1e-9, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := evalmetrics.ARI(ds.Labels, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.99 {
+		t.Fatalf("distributed k-means ARI = %v", ari)
+	}
+}

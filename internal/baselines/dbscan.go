@@ -1,0 +1,161 @@
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/points"
+)
+
+// DBSCANResult labels points with cluster ids; noise points get -1.
+type DBSCANResult struct {
+	Labels   []int
+	Clusters int
+	Noise    int
+}
+
+// DBSCAN runs the classic density-based clustering (Ester et al.) with
+// radius eps and core threshold minPts (a point is core when it has at
+// least minPts neighbours within eps, itself excluded). Neighbour queries
+// use a uniform grid index with cell side eps, so the expected cost is
+// near-linear on low-dimensional data; the worst case remains O(n²).
+func DBSCAN(ds *points.Dataset, eps float64, minPts int) (*DBSCANResult, error) {
+	n := ds.N()
+	if eps <= 0 {
+		return nil, fmt.Errorf("baselines: non-positive eps %v", eps)
+	}
+	if minPts < 1 {
+		return nil, fmt.Errorf("baselines: minPts %d < 1", minPts)
+	}
+	idx := newGridIndex(ds, eps)
+	labels := make([]int, n)
+	const (
+		unvisited = -2
+		noise     = -1
+	)
+	for i := range labels {
+		labels[i] = unvisited
+	}
+	eps2 := eps * eps
+	cluster := 0
+	var queue []int32
+	for i := 0; i < n; i++ {
+		if labels[i] != unvisited {
+			continue
+		}
+		neigh := idx.neighbors(int32(i), eps2)
+		if len(neigh) < minPts {
+			labels[i] = noise
+			continue
+		}
+		labels[i] = cluster
+		queue = append(queue[:0], neigh...)
+		for len(queue) > 0 {
+			j := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if labels[j] == noise {
+				labels[j] = cluster // border point
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = cluster
+			jn := idx.neighbors(j, eps2)
+			if len(jn) >= minPts {
+				queue = append(queue, jn...)
+			}
+		}
+		cluster++
+	}
+	res := &DBSCANResult{Labels: labels, Clusters: cluster}
+	for _, l := range labels {
+		if l == noise {
+			res.Noise++
+		}
+	}
+	return res, nil
+}
+
+// gridIndex buckets points into cells of side eps; a radius-eps query only
+// inspects the 3^dim neighbouring cells. For dim > 6 the cell fan-out
+// outweighs the pruning, so the index degrades to a flat scan.
+type gridIndex struct {
+	ds   *points.Dataset
+	eps  float64
+	dim  int
+	cell map[string][]int32
+	flat bool
+}
+
+func newGridIndex(ds *points.Dataset, eps float64) *gridIndex {
+	g := &gridIndex{ds: ds, eps: eps, dim: ds.Dim()}
+	if g.dim > 6 {
+		g.flat = true
+		return g
+	}
+	g.cell = make(map[string][]int32)
+	for i, p := range ds.Points {
+		key := g.key(p.Pos, nil)
+		g.cell[key] = append(g.cell[key], int32(i))
+	}
+	return g
+}
+
+// key encodes the cell coordinates of pos, offset by off (nil = zero).
+func (g *gridIndex) key(pos points.Vector, off []int) string {
+	buf := make([]byte, 0, g.dim*6)
+	for j := 0; j < g.dim; j++ {
+		c := int(pos[j] / g.eps)
+		if pos[j] < 0 {
+			c--
+		}
+		if off != nil {
+			c += off[j]
+		}
+		buf = appendInt(buf, c)
+		buf = append(buf, ':')
+	}
+	return string(buf)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	if v >= 10 {
+		b = appendInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+// neighbors returns the ids within sqrt(eps2) of point i, excluding i.
+func (g *gridIndex) neighbors(i int32, eps2 float64) []int32 {
+	p := g.ds.Points[i].Pos
+	var out []int32
+	if g.flat {
+		for j := range g.ds.Points {
+			if int32(j) != i && points.SqDist(p, g.ds.Points[j].Pos) <= eps2 {
+				out = append(out, int32(j))
+			}
+		}
+		return out
+	}
+	off := make([]int, g.dim)
+	var walk func(d int)
+	walk = func(d int) {
+		if d == g.dim {
+			for _, j := range g.cell[g.key(p, off)] {
+				if j != i && points.SqDist(p, g.ds.Points[j].Pos) <= eps2 {
+					out = append(out, j)
+				}
+			}
+			return
+		}
+		for _, o := range [3]int{-1, 0, 1} {
+			off[d] = o
+			walk(d + 1)
+		}
+	}
+	walk(0)
+	return out
+}

@@ -1,0 +1,147 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/points"
+)
+
+// EMResult is the outcome of expectation-maximization for a diagonal-
+// covariance Gaussian mixture.
+type EMResult struct {
+	Labels     []int
+	Means      []points.Vector
+	Variances  []points.Vector
+	Weights    []float64
+	LogLik     float64
+	Iterations int
+}
+
+// EM fits a k-component Gaussian mixture with diagonal covariances and
+// labels each point by its most probable component. Initialization comes
+// from a short K-means run, the standard practice. Iteration stops when
+// the log-likelihood improves by less than tol or after maxIter rounds.
+func EM(ds *points.Dataset, k, maxIter int, tol float64, seed int64) (*EMResult, error) {
+	n, dim := ds.N(), ds.Dim()
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("baselines: k=%d out of range for %d points", k, n)
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	km, err := KMeans(ds, k, 10, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &EMResult{
+		Means:     km.Centers,
+		Variances: make([]points.Vector, k),
+		Weights:   make([]float64, k),
+	}
+	// Initialize variances from the K-means partition.
+	counts := make([]int, k)
+	for c := range res.Variances {
+		res.Variances[c] = make(points.Vector, dim)
+	}
+	for i, p := range ds.Points {
+		c := km.Labels[i]
+		counts[c]++
+		for j := range p.Pos {
+			d := p.Pos[j] - res.Means[c][j]
+			res.Variances[c][j] += d * d
+		}
+	}
+	const varFloor = 1e-6
+	for c := 0; c < k; c++ {
+		res.Weights[c] = float64(max(counts[c], 1)) / float64(n)
+		for j := 0; j < dim; j++ {
+			res.Variances[c][j] = res.Variances[c][j]/float64(max(counts[c], 1)) + varFloor
+		}
+	}
+
+	resp := make([][]float64, n)
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+	prevLL := math.Inf(-1)
+	for it := 0; it < maxIter; it++ {
+		// E step: responsibilities via log-sum-exp for stability.
+		var ll float64
+		for i, p := range ds.Points {
+			maxLog := math.Inf(-1)
+			for c := 0; c < k; c++ {
+				resp[i][c] = math.Log(res.Weights[c]) + logGaussDiag(p.Pos, res.Means[c], res.Variances[c])
+				if resp[i][c] > maxLog {
+					maxLog = resp[i][c]
+				}
+			}
+			var sum float64
+			for c := 0; c < k; c++ {
+				resp[i][c] = math.Exp(resp[i][c] - maxLog)
+				sum += resp[i][c]
+			}
+			for c := 0; c < k; c++ {
+				resp[i][c] /= sum
+			}
+			ll += maxLog + math.Log(sum)
+		}
+		res.LogLik = ll
+		res.Iterations = it + 1
+		if ll-prevLL < tol && it > 0 {
+			break
+		}
+		prevLL = ll
+		// M step.
+		for c := 0; c < k; c++ {
+			var nc float64
+			mean := make(points.Vector, dim)
+			for i, p := range ds.Points {
+				r := resp[i][c]
+				nc += r
+				for j := range p.Pos {
+					mean[j] += r * p.Pos[j]
+				}
+			}
+			if nc < 1e-12 {
+				continue // dead component; keep previous parameters
+			}
+			mean.Scale(1 / nc)
+			vr := make(points.Vector, dim)
+			for i, p := range ds.Points {
+				r := resp[i][c]
+				for j := range p.Pos {
+					d := p.Pos[j] - mean[j]
+					vr[j] += r * d * d
+				}
+			}
+			for j := range vr {
+				vr[j] = vr[j]/nc + varFloor
+			}
+			res.Means[c] = mean
+			res.Variances[c] = vr
+			res.Weights[c] = nc / float64(n)
+		}
+	}
+	res.Labels = make([]int, n)
+	for i := range resp {
+		best, bestR := 0, -1.0
+		for c := 0; c < k; c++ {
+			if resp[i][c] > bestR {
+				best, bestR = c, resp[i][c]
+			}
+		}
+		res.Labels[i] = best
+	}
+	return res, nil
+}
+
+// logGaussDiag is the log density of a diagonal-covariance Gaussian.
+func logGaussDiag(x, mean, vr points.Vector) float64 {
+	var s float64
+	for j := range x {
+		d := x[j] - mean[j]
+		s += d*d/vr[j] + math.Log(2*math.Pi*vr[j])
+	}
+	return -0.5 * s
+}

@@ -1,0 +1,136 @@
+// Package baselines implements the four sequential clustering algorithms
+// the paper compares DP against in Figure 8 and Table III: K-means
+// (centroid-based), EM for Gaussian mixtures (distribution-based), DBSCAN
+// (density-based), and agglomerative hierarchical clustering
+// (connectivity-based). They are reference implementations tuned for
+// clarity and determinism, not raw speed — the experiment harness runs
+// them on the small shaped data sets.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/points"
+)
+
+// KMeansResult is the outcome of Lloyd's algorithm.
+type KMeansResult struct {
+	Labels     []int
+	Centers    []points.Vector
+	Iterations int
+	// Inertia is the summed squared distance of points to their centers.
+	Inertia float64
+}
+
+// KMeans runs Lloyd's algorithm with k-means++ seeding until assignment
+// convergence or maxIter. The seed fixes both the seeding and tie-breaks,
+// so runs are reproducible.
+func KMeans(ds *points.Dataset, k, maxIter int, seed int64) (*KMeansResult, error) {
+	n := ds.N()
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("baselines: k=%d out of range for %d points", k, n)
+	}
+	rng := points.NewRand(seed)
+	centers := seedPlusPlus(ds, k, rng)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	res := &KMeansResult{}
+	for it := 0; it < maxIter; it++ {
+		changed := false
+		res.Inertia = 0
+		for i, p := range ds.Points {
+			c, d2 := nearestCenter(p.Pos, centers)
+			if c != labels[i] {
+				labels[i] = c
+				changed = true
+			}
+			res.Inertia += d2
+		}
+		res.Iterations = it + 1
+		if !changed && it > 0 {
+			break
+		}
+		centers = recenter(ds, labels, centers, rng)
+	}
+	res.Labels = labels
+	res.Centers = centers
+	return res, nil
+}
+
+// seedPlusPlus is k-means++ initialization (Arthur & Vassilvitskii).
+func seedPlusPlus(ds *points.Dataset, k int, rng *points.Rand) []points.Vector {
+	n := ds.N()
+	centers := make([]points.Vector, 0, k)
+	centers = append(centers, ds.Points[rng.Intn(n)].Pos.Clone())
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = points.SqDist(ds.Points[i].Pos, centers[0])
+	}
+	for len(centers) < k {
+		var sum float64
+		for _, d := range d2 {
+			sum += d
+		}
+		var next int
+		if sum == 0 {
+			next = rng.Intn(n)
+		} else {
+			target := rng.Float64() * sum
+			acc := 0.0
+			next = n - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					next = i
+					break
+				}
+			}
+		}
+		centers = append(centers, ds.Points[next].Pos.Clone())
+		for i := range d2 {
+			if d := points.SqDist(ds.Points[i].Pos, centers[len(centers)-1]); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centers
+}
+
+func nearestCenter(p points.Vector, centers []points.Vector) (int, float64) {
+	best, bestD := 0, math.Inf(1)
+	for c, ctr := range centers {
+		if d := points.SqDist(p, ctr); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// recenter computes cluster means; an emptied cluster is re-seeded at a
+// random point to keep k stable.
+func recenter(ds *points.Dataset, labels []int, centers []points.Vector, rng *points.Rand) []points.Vector {
+	k := len(centers)
+	dim := ds.Dim()
+	sums := make([]points.Vector, k)
+	counts := make([]int, k)
+	for c := range sums {
+		sums[c] = make(points.Vector, dim)
+	}
+	for i, p := range ds.Points {
+		sums[labels[i]].Add(p.Pos)
+		counts[labels[i]]++
+	}
+	out := make([]points.Vector, k)
+	for c := range out {
+		if counts[c] == 0 {
+			out[c] = ds.Points[rng.Intn(ds.N())].Pos.Clone()
+			continue
+		}
+		sums[c].Scale(1 / float64(counts[c]))
+		out[c] = sums[c]
+	}
+	return out
+}

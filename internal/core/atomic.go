@@ -1,0 +1,7 @@
+package core
+
+import "sync/atomic"
+
+// AtomicAdd is a tiny indirection so hot reducer loops (here and in
+// sibling algorithm packages) read clearly.
+func AtomicAdd(p *int64, delta int64) { atomic.AddInt64(p, delta) }

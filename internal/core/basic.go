@@ -1,0 +1,493 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"repro/internal/dp"
+	"repro/internal/mapreduce"
+	"repro/internal/points"
+)
+
+// BasicConfig configures Basic-DDP.
+type BasicConfig struct {
+	Config
+	// BlockSize is the target points-per-block for the blocking strategy
+	// (the paper's experiments use 500). The number of blocks is
+	// ceil(N / BlockSize).
+	BlockSize int
+}
+
+func (c *BasicConfig) blockSize() int {
+	if c.BlockSize > 0 {
+		return c.BlockSize
+	}
+	return 500
+}
+
+// RunBasicDDP executes the exact Basic-DDP pipeline of Section III:
+//
+//	job 0  d_c sampling (unless cfg.Dc is set)
+//	job 1  blocked all-pairs ρ partials
+//	job 2  ρ aggregation (sum)
+//	job 3  blocked all-pairs δ partials (+ max-distance fallbacks)
+//	job 4  δ aggregation (min; fallback max for the absolute peak)
+//
+// The blocking follows the paper exactly: the point set is split into n
+// blocks; block k is shuffled only to reducers l ≥ k, so reducer l
+// materializes every block pair (k, l), k ≤ l, exactly once — each point is
+// shuffled (n−k) times, (n+1)/2 on average, and every unordered point pair
+// is evaluated exactly once globally.
+func RunBasicDDP(ds *points.Dataset, cfg BasicConfig) (*Result, error) {
+	start := time.Now()
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if ds.N() < 2 {
+		return nil, fmt.Errorf("core: need at least 2 points, have %d", ds.N())
+	}
+	drv := mapreduce.NewDriver(cfg.engine())
+	drv.Log = cfg.Log
+	input := InputPairs(ds)
+
+	dc, err := chooseDc(drv, ds, &cfg.Config, input)
+	if err != nil {
+		return nil, err
+	}
+	nBlocks := (ds.N() + cfg.blockSize() - 1) / cfg.blockSize()
+
+	conf := mapreduce.Conf{}
+	conf.SetFloat(confDc, dc)
+	conf.SetInt(confBlocks, nBlocks)
+	setKernelConf(conf, cfg.Kernel)
+
+	// Jobs 1+2: exact ρ.
+	partials, err := drv.Run(withReduces(BasicRhoJob(conf), cfg.NumReduces), input)
+	if err != nil {
+		return nil, err
+	}
+	rhoOut, err := drv.Run(withReduces(RhoAggJob(JobBasicAgg, mapreduce.Conf{}), cfg.NumReduces), partials)
+	if err != nil {
+		return nil, err
+	}
+	rho, err := DecodeRhoArray(rhoOut, ds.N())
+	if err != nil {
+		return nil, err
+	}
+
+	// Jobs 3+4: exact δ.
+	dIn := RhoPointPairs(ds, rho)
+	dPartials, err := drv.Run(withReduces(BasicDeltaJob(conf), cfg.NumReduces), dIn)
+	if err != nil {
+		return nil, err
+	}
+	dOut, err := drv.Run(withReduces(DeltaAggJob(JobBasicDAgg, mapreduce.Conf{}), cfg.NumReduces), dPartials)
+	if err != nil {
+		return nil, err
+	}
+	delta, upslope, err := DecodeDeltaArrays(dOut, ds.N())
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Rho: rho, Delta: delta, Upslope: upslope}
+	res.Stats.Dc = dc
+	CollectStats(&res.Stats, drv, start)
+	return res, nil
+}
+
+// withReduces applies the configured reduce-task count to a job.
+func withReduces(j *mapreduce.Job, n int) *mapreduce.Job {
+	j.NumReduces = n
+	return j
+}
+
+// blockOf assigns a point to a block by ID. IDs are dense, so blocks are
+// near-uniform.
+func blockOf(id int32, nBlocks int) int { return int(id) % nBlocks }
+
+// tagged value: uint32 source block | payload.
+func tagBlock(k int, payload []byte) []byte {
+	buf := binary.LittleEndian.AppendUint32(make([]byte, 0, 4+len(payload)), uint32(k))
+	return append(buf, payload...)
+}
+
+func untagBlock(v []byte) (int, []byte, error) {
+	if len(v) < 4 {
+		return 0, nil, fmt.Errorf("core: short block tag")
+	}
+	return int(binary.LittleEndian.Uint32(v)), v[4:], nil
+}
+
+// idKey formats a point ID as a fixed-width reduce key so aggregation jobs
+// group correctly and output deterministically.
+func idKey(id int32) string { return fmt.Sprintf("%09d", id) }
+
+func parseIDKey(k string) (int32, error) {
+	v, err := strconv.Atoi(k)
+	if err != nil {
+		return 0, fmt.Errorf("core: bad id key %q: %w", k, err)
+	}
+	return int32(v), nil
+}
+
+// BasicRhoJob is job 1: blocked exact ρ partials. Map routes block k to
+// reducers l = k..n−1; reducer l computes the diagonal pair (l,l) and every
+// cross pair (k,l), k < l, and emits one partial count per point (always
+// for its home block l, only when non-zero for visiting blocks, since the
+// aggregation treats absence as zero — except each point's home reducer
+// guarantees at least one record).
+func BasicRhoJob(conf mapreduce.Conf) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name: JobBasicRho,
+		Conf: conf,
+		Map: func(ctx *mapreduce.TaskContext, _ string, value []byte, out mapreduce.Emitter) error {
+			n := ctx.Conf.GetInt(confBlocks, 1)
+			p, _, err := points.DecodePoint(value)
+			if err != nil {
+				return err
+			}
+			k := blockOf(p.ID, n)
+			tagged := tagBlock(k, value)
+			for l := k; l < n; l++ {
+				out.Emit(strconv.Itoa(l), tagged)
+			}
+			return nil
+		},
+		Reduce: func(ctx *mapreduce.TaskContext, key string, values [][]byte, out mapreduce.Emitter) error {
+			l, err := strconv.Atoi(key)
+			if err != nil {
+				return fmt.Errorf("core: bad block key %q", key)
+			}
+			kern := kernelFromConf(ctx.Conf)
+			var local []points.Point
+			var visitors []points.Point
+			for _, v := range values {
+				k, payload, err := untagBlock(v)
+				if err != nil {
+					return err
+				}
+				p, _, err := points.DecodePoint(payload)
+				if err != nil {
+					return err
+				}
+				if k == l {
+					local = append(local, p)
+				} else {
+					visitors = append(visitors, p)
+				}
+			}
+			localRho := make([]float64, len(local))
+			visitorRho := make([]float64, len(visitors))
+			var nd int64
+			// Diagonal pair (l, l): upper triangle.
+			for i := range local {
+				for j := i + 1; j < len(local); j++ {
+					nd++
+					if w := kern.weight(points.SqDist(local[i].Pos, local[j].Pos)); w != 0 {
+						localRho[i] += w
+						localRho[j] += w
+					}
+				}
+			}
+			// Cross pairs (k, l) for every visiting block, against local.
+			for vi := range visitors {
+				for li := range local {
+					nd++
+					if w := kern.weight(points.SqDist(visitors[vi].Pos, local[li].Pos)); w != 0 {
+						visitorRho[vi] += w
+						localRho[li] += w
+					}
+				}
+			}
+			addInt64(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			for i, p := range local {
+				out.Emit(idKey(p.ID), points.EncodeRhoValue(points.RhoValue{ID: p.ID, Rho: localRho[i]}))
+			}
+			for i, p := range visitors {
+				if visitorRho[i] > 0 {
+					out.Emit(idKey(p.ID), points.EncodeRhoValue(points.RhoValue{ID: p.ID, Rho: visitorRho[i]}))
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// RhoAggJob sums ρ partials per point. Shared by Basic-DDP (sum of block
+// partials) and reused with a different fold by LSH-DDP (see LSHRhoAggJob).
+func RhoAggJob(name string, conf mapreduce.Conf) *mapreduce.Job {
+	sum := func(ctx *mapreduce.TaskContext, key string, values [][]byte, out mapreduce.Emitter) error {
+		var total float64
+		var id int32
+		for i, v := range values {
+			rv, err := points.DecodeRhoValue(v)
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				id = rv.ID
+			}
+			total += rv.Rho
+		}
+		out.Emit(key, points.EncodeRhoValue(points.RhoValue{ID: id, Rho: total}))
+		return nil
+	}
+	return &mapreduce.Job{
+		Name:    name,
+		Conf:    conf,
+		Map:     identityMap,
+		Combine: sum,
+		Reduce:  sum,
+	}
+}
+
+// identityMap forwards records unchanged; aggregation jobs group the
+// previous job's (idKey, value) output.
+func identityMap(_ *mapreduce.TaskContext, key string, value []byte, out mapreduce.Emitter) error {
+	out.Emit(key, value)
+	return nil
+}
+
+// BasicDeltaJob is job 3: blocked exact δ partials. The map side is the ρ
+// job's blocking over RhoPoint records. Reducer l evaluates, for every
+// point it sees, the minimum distance to a denser point within the block
+// pairs it owns; a point with no denser neighbour in scope emits a
+// fallback record carrying the maximum distance seen (Upslope = −1), which
+// the aggregation resolves exactly as Section III prescribes for the
+// absolute density peak.
+func BasicDeltaJob(conf mapreduce.Conf) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name: JobBasicDel,
+		Conf: conf,
+		Map: func(ctx *mapreduce.TaskContext, _ string, value []byte, out mapreduce.Emitter) error {
+			n := ctx.Conf.GetInt(confBlocks, 1)
+			rp, _, err := points.DecodeRhoPoint(value)
+			if err != nil {
+				return err
+			}
+			k := blockOf(rp.ID, n)
+			tagged := tagBlock(k, value)
+			for l := k; l < n; l++ {
+				out.Emit(strconv.Itoa(l), tagged)
+			}
+			return nil
+		},
+		Reduce: func(ctx *mapreduce.TaskContext, key string, values [][]byte, out mapreduce.Emitter) error {
+			l, err := strconv.Atoi(key)
+			if err != nil {
+				return fmt.Errorf("core: bad block key %q", key)
+			}
+			var local, visitors []points.RhoPoint
+			for _, v := range values {
+				k, payload, err := untagBlock(v)
+				if err != nil {
+					return err
+				}
+				rp, _, err := points.DecodeRhoPoint(payload)
+				if err != nil {
+					return err
+				}
+				if k == l {
+					local = append(local, rp)
+				} else {
+					visitors = append(visitors, rp)
+				}
+			}
+			st := newDeltaState(len(local) + len(visitors))
+			var nd int64
+			// Diagonal pair: all ordered directions within local.
+			for i := range local {
+				for j := i + 1; j < len(local); j++ {
+					d2 := points.SqDist(local[i].Pos, local[j].Pos)
+					nd++
+					st.observe(local[i], local[j], d2)
+				}
+			}
+			// Cross pairs: every visitor against every local point.
+			for vi := range visitors {
+				for li := range local {
+					d2 := points.SqDist(visitors[vi].Pos, local[li].Pos)
+					nd++
+					st.observe(visitors[vi], local[li], d2)
+				}
+			}
+			addInt64(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			st.emit(out)
+			return nil
+		},
+	}
+}
+
+// deltaState accumulates per-point best candidates and fallback max
+// distances during a δ reducer's pass over pairs.
+type deltaState struct {
+	best map[int32]*deltaCell
+}
+
+type deltaCell struct {
+	rho     float64
+	delta2  float64 // squared candidate distance
+	upslope int32
+	max2    float64 // squared max distance seen (fallback)
+}
+
+func newDeltaState(capacity int) *deltaState {
+	return &deltaState{best: make(map[int32]*deltaCell, capacity)}
+}
+
+func (s *deltaState) cell(p points.RhoPoint) *deltaCell {
+	c, ok := s.best[p.ID]
+	if !ok {
+		c = &deltaCell{rho: p.Rho, delta2: math.Inf(1), upslope: -1}
+		s.best[p.ID] = c
+	}
+	return c
+}
+
+// observe processes one evaluated pair (a, b) with squared distance d2,
+// updating both points' candidate and fallback state under the density
+// total order.
+func (s *deltaState) observe(a, b points.RhoPoint, d2 float64) {
+	ca, cb := s.cell(a), s.cell(b)
+	if d2 > ca.max2 {
+		ca.max2 = d2
+	}
+	if d2 > cb.max2 {
+		cb.max2 = d2
+	}
+	if dp.DenserVals(b.Rho, a.Rho, b.ID, a.ID) {
+		if d2 < ca.delta2 {
+			ca.delta2 = d2
+			ca.upslope = b.ID
+		}
+	} else {
+		if d2 < cb.delta2 {
+			cb.delta2 = d2
+			cb.upslope = a.ID
+		}
+	}
+}
+
+// emit writes one DeltaValue per observed point: a real candidate when one
+// exists, otherwise a fallback with the local max distance and Upslope −1.
+func (s *deltaState) emit(out mapreduce.Emitter) {
+	for id, c := range s.best {
+		dv := points.DeltaValue{ID: id}
+		if c.upslope >= 0 {
+			dv.Delta = math.Sqrt(c.delta2)
+			dv.Upslope = c.upslope
+		} else {
+			dv.Delta = math.Sqrt(c.max2)
+			dv.Upslope = -1
+		}
+		out.Emit(idKey(id), points.EncodeDeltaValue(dv))
+	}
+}
+
+// DeltaAggJob folds δ partials per point: the minimum over real candidates
+// (Upslope ≥ 0); when a point has only fallbacks — the absolute density
+// peak — the maximum fallback distance, which equals max_j d_ij exactly
+// because the point met every other point exactly once across reducers.
+// The fold is associative and commutative, so it doubles as the combiner.
+func DeltaAggJob(name string, conf mapreduce.Conf) *mapreduce.Job {
+	fold := func(ctx *mapreduce.TaskContext, key string, values [][]byte, out mapreduce.Emitter) error {
+		var (
+			id       int32
+			bestCand       = math.Inf(1)
+			bestUp   int32 = -1
+			maxFall  float64
+			haveCand bool
+		)
+		for i, v := range values {
+			dv, err := points.DecodeDeltaValue(v)
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				id = dv.ID
+			}
+			if dv.Upslope >= 0 {
+				haveCand = true
+				if dv.Delta < bestCand {
+					bestCand = dv.Delta
+					bestUp = dv.Upslope
+				}
+			} else if dv.Delta > maxFall {
+				maxFall = dv.Delta
+			}
+		}
+		dv := points.DeltaValue{ID: id, Upslope: -1, Delta: maxFall}
+		if haveCand {
+			dv.Delta = bestCand
+			dv.Upslope = bestUp
+		}
+		out.Emit(key, points.EncodeDeltaValue(dv))
+		return nil
+	}
+	return &mapreduce.Job{
+		Name:    name,
+		Conf:    conf,
+		Map:     identityMap,
+		Combine: fold,
+		Reduce:  fold,
+	}
+}
+
+// DecodeRhoArray turns aggregation output into a dense ρ array.
+func DecodeRhoArray(out []mapreduce.Pair, n int) ([]float64, error) {
+	rho := make([]float64, n)
+	seen := make([]bool, n)
+	for _, p := range out {
+		rv, err := points.DecodeRhoValue(p.Value)
+		if err != nil {
+			return nil, err
+		}
+		if rv.ID < 0 || int(rv.ID) >= n {
+			return nil, fmt.Errorf("core: rho for out-of-range id %d", rv.ID)
+		}
+		if seen[rv.ID] {
+			return nil, fmt.Errorf("core: duplicate rho for id %d", rv.ID)
+		}
+		seen[rv.ID] = true
+		rho[rv.ID] = rv.Rho
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("core: no rho produced for id %d", i)
+		}
+	}
+	return rho, nil
+}
+
+// DecodeDeltaArrays turns aggregation output into dense δ and upslope
+// arrays.
+func DecodeDeltaArrays(out []mapreduce.Pair, n int) ([]float64, []int32, error) {
+	delta := make([]float64, n)
+	upslope := make([]int32, n)
+	seen := make([]bool, n)
+	for _, p := range out {
+		dv, err := points.DecodeDeltaValue(p.Value)
+		if err != nil {
+			return nil, nil, err
+		}
+		if dv.ID < 0 || int(dv.ID) >= n {
+			return nil, nil, fmt.Errorf("core: delta for out-of-range id %d", dv.ID)
+		}
+		if seen[dv.ID] {
+			return nil, nil, fmt.Errorf("core: duplicate delta for id %d", dv.ID)
+		}
+		seen[dv.ID] = true
+		delta[dv.ID] = dv.Delta
+		upslope[dv.ID] = dv.Upslope
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, nil, fmt.Errorf("core: no delta produced for id %d", i)
+		}
+	}
+	return delta, upslope, nil
+}

@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+)
+
+// The one-call happy path: run LSH-DDP and cluster the result.
+func ExampleRunLSHDDP() {
+	ds := dataset.Blobs("example", 600, 2, 3, 300, 3, 42)
+	res, err := core.RunLSHDDP(ds, core.LSHConfig{
+		Config:   core.Config{Engine: &mapreduce.LocalEngine{Parallelism: 2}, Seed: 1},
+		Accuracy: 0.99, M: 10, Pi: 3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	peaks, labels, err := res.Cluster(ds, core.SelectTopK(3))
+	if err != nil {
+		panic(err)
+	}
+	sizes := map[int32]int{}
+	for _, l := range labels {
+		sizes[l]++
+	}
+	total := 0
+	for _, n := range sizes {
+		total += n
+	}
+	fmt.Printf("%d peaks, %d clusters, %d points labeled\n", len(peaks), len(sizes), total)
+	// Output:
+	// 3 peaks, 3 clusters, 600 points labeled
+}
+
+// Exact Basic-DDP with a pinned cutoff distance.
+func ExampleRunBasicDDP() {
+	ds := dataset.Blobs("example-basic", 300, 2, 2, 100, 3, 7)
+	res, err := core.RunBasicDDP(ds, core.BasicConfig{
+		Config:    core.Config{Engine: &mapreduce.LocalEngine{Parallelism: 2}, Dc: 4},
+		BlockSize: 64,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Exactly one absolute density peak exists (the globally densest point).
+	absolute := 0
+	for _, u := range res.Upslope {
+		if u == -1 {
+			absolute++
+		}
+	}
+	fmt.Printf("%d points, %d absolute peak, exact pairwise work = %d distances per job\n",
+		ds.N(), absolute, ds.N()*(ds.N()-1)/2)
+	// Output:
+	// 300 points, 1 absolute peak, exact pairwise work = 44850 distances per job
+}

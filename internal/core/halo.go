@@ -1,0 +1,239 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/lsh"
+	"repro/internal/mapreduce"
+	"repro/internal/points"
+)
+
+// Distributed halo detection — an extension beyond the reproduced paper.
+// The original DP paper (Rodriguez & Laio) separates each cluster into a
+// core and a halo: the border density ρ_b of a cluster is the highest
+// average density over cross-cluster point pairs within d_c, and points
+// below their cluster's ρ_b are halo (likely noise). Computing ρ_b needs
+// cross-cluster d_c-pairs — the same local structure LSH-DDP's partitions
+// preserve — so it distributes with the identical two-job pattern: local
+// border maxima per LSH partition, then a max aggregation per cluster.
+// Like ρ̂, each local estimate can only miss pairs, so the aggregated ρ̂_b
+// is an underestimate whose quality improves with M (Theorem 1's logic).
+
+// Job names for the rpcmr registry.
+const (
+	JobLSHHalo    = "lsh-ddp-halo"
+	JobLSHHaloAgg = "lsh-ddp-halo-agg"
+)
+
+// HaloResult carries per-point halo flags and the per-cluster border
+// densities that produced them.
+type HaloResult struct {
+	// Halo[i] is true when point i's density is below its cluster's
+	// border density.
+	Halo []bool
+	// Border[c] is the estimated border density ρ̂_b of cluster c.
+	Border []float64
+	// Stats covers the two halo jobs.
+	Stats Stats
+}
+
+// labeled point record: RhoPoint | int32 label.
+func encodeLabeled(rp points.RhoPoint, label int32) []byte {
+	buf := points.AppendRhoPoint(nil, rp)
+	return binary.LittleEndian.AppendUint32(buf, uint32(label))
+}
+
+func decodeLabeled(v []byte) (points.RhoPoint, int32, error) {
+	rp, rest, err := points.DecodeRhoPoint(v)
+	if err != nil {
+		return points.RhoPoint{}, 0, err
+	}
+	if len(rest) != 4 {
+		return points.RhoPoint{}, 0, fmt.Errorf("core: labeled point tail is %d bytes, want 4", len(rest))
+	}
+	return rp, int32(binary.LittleEndian.Uint32(rest)), nil
+}
+
+// border record keyed by cluster: float64 border density.
+func clusterKey(c int32) string { return fmt.Sprintf("c%06d", c) }
+
+// LSHHaloJob computes, per LSH partition, each cluster's local border
+// density: the max of (ρ_i+ρ_j)/2 over cross-cluster pairs within d_c.
+func LSHHaloJob(conf mapreduce.Conf) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name: JobLSHHalo,
+		Conf: conf,
+		Map: func(ctx *mapreduce.TaskContext, _ string, value []byte, out mapreduce.Emitter) error {
+			layouts := layoutsFromConf(ctx.Conf)
+			rp, _, err := decodeLabeled(value)
+			if err != nil {
+				return err
+			}
+			for _, key := range layouts.Keys(rp.Pos) {
+				out.Emit(key, value)
+			}
+			return nil
+		},
+		Reduce: func(ctx *mapreduce.TaskContext, _ string, values [][]byte, out mapreduce.Emitter) error {
+			dc := ctx.Conf.GetFloat(confDc, 0)
+			dc2 := dc * dc
+			type lp struct {
+				rp    points.RhoPoint
+				label int32
+			}
+			pts := make([]lp, 0, len(values))
+			for _, v := range values {
+				rp, label, err := decodeLabeled(v)
+				if err != nil {
+					return err
+				}
+				pts = append(pts, lp{rp: rp, label: label})
+			}
+			border := map[int32]float64{}
+			var nd int64
+			for i := range pts {
+				for j := i + 1; j < len(pts); j++ {
+					if pts[i].label == pts[j].label {
+						continue
+					}
+					nd++
+					if points.SqDist(pts[i].rp.Pos, pts[j].rp.Pos) >= dc2 {
+						continue
+					}
+					avg := (pts[i].rp.Rho + pts[j].rp.Rho) / 2
+					if avg > border[pts[i].label] {
+						border[pts[i].label] = avg
+					}
+					if avg > border[pts[j].label] {
+						border[pts[j].label] = avg
+					}
+				}
+			}
+			AtomicAdd(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			for c, b := range border {
+				out.Emit(clusterKey(c), encodeFloat(b))
+			}
+			return nil
+		},
+	}
+}
+
+// LSHHaloAggJob folds per-partition border maxima into the final border
+// density per cluster. Max is associative, so the fold doubles as the
+// combiner.
+func LSHHaloAggJob(conf mapreduce.Conf) *mapreduce.Job {
+	fold := func(_ *mapreduce.TaskContext, key string, values [][]byte, out mapreduce.Emitter) error {
+		var maxB float64
+		for _, v := range values {
+			if b := decodeFloat(v); b > maxB {
+				maxB = b
+			}
+		}
+		out.Emit(key, encodeFloat(maxB))
+		return nil
+	}
+	return &mapreduce.Job{
+		Name:    JobLSHHaloAgg,
+		Conf:    conf,
+		Map:     identityMap,
+		Combine: fold,
+		Reduce:  fold,
+	}
+}
+
+// RunLSHHalo estimates the core/halo split for an existing clustering:
+// rho are the (approximate) densities, labels the cluster assignment from
+// Result.Cluster, dc the cutoff used to produce them. LSH parameters
+// follow cfg exactly as in RunLSHDDP (width solved from cfg.Accuracy when
+// cfg.W is 0).
+func RunLSHHalo(ds *points.Dataset, rho []float64, labels []int32, dc float64, cfg LSHConfig) (*HaloResult, error) {
+	start := time.Now()
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if len(rho) != ds.N() || len(labels) != ds.N() {
+		return nil, fmt.Errorf("core: halo needs %d rho and labels, have %d and %d",
+			ds.N(), len(rho), len(labels))
+	}
+	if dc <= 0 {
+		return nil, fmt.Errorf("core: halo needs a positive d_c")
+	}
+	nClusters := int32(0)
+	for i, l := range labels {
+		if l < 0 {
+			return nil, fmt.Errorf("core: point %d has negative label", i)
+		}
+		if l+1 > nClusters {
+			nClusters = l + 1
+		}
+	}
+	w := cfg.W
+	if w <= 0 {
+		var err error
+		w, err = solveWidthForConfig(&cfg, dc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	conf := mapreduce.Conf{}
+	conf.SetFloat(confDc, dc)
+	conf.SetInt(confDim, ds.Dim())
+	conf.SetInt(confM, cfg.m())
+	conf.SetInt(confPi, cfg.pi())
+	conf.SetFloat(confW, w)
+	conf.SetInt64(confSeed, cfg.Seed)
+
+	input := make([]mapreduce.Pair, ds.N())
+	for i, p := range ds.Points {
+		input[i] = mapreduce.Pair{Value: encodeLabeled(points.RhoPoint{Point: p, Rho: rho[i]}, labels[i])}
+	}
+	drv := mapreduce.NewDriver(cfg.engine())
+	drv.Log = cfg.Log
+	partials, err := drv.Run(withReduces(LSHHaloJob(conf.Clone()), cfg.NumReduces), input)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := drv.Run(withReduces(LSHHaloAggJob(mapreduce.Conf{}), cfg.NumReduces), partials)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &HaloResult{
+		Halo:   make([]bool, ds.N()),
+		Border: make([]float64, nClusters),
+	}
+	for _, p := range agg {
+		var c int32
+		if _, err := fmt.Sscanf(p.Key, "c%d", &c); err != nil {
+			return nil, fmt.Errorf("core: bad cluster key %q", p.Key)
+		}
+		if c < 0 || c >= nClusters {
+			return nil, fmt.Errorf("core: cluster key %d out of range", c)
+		}
+		res.Border[c] = decodeFloat(p.Value)
+	}
+	for i := range res.Halo {
+		res.Halo[i] = rho[i] < res.Border[labels[i]]
+	}
+	res.Stats.Dc = dc
+	res.Stats.W = w
+	res.Stats.Pi = cfg.pi()
+	res.Stats.M = cfg.m()
+	CollectStats(&res.Stats, drv, start)
+	return res, nil
+}
+
+// solveWidthForConfig mirrors RunLSHDDP's width derivation.
+func solveWidthForConfig(cfg *LSHConfig, dc float64) (float64, error) {
+	return lsh.SolveWidth(cfg.accuracy(), dc, cfg.pi(), cfg.m())
+}
+
+// HaloJobFactories returns the registry entries for the halo jobs.
+func HaloJobFactories() map[string]func(mapreduce.Conf) *mapreduce.Job {
+	return map[string]func(mapreduce.Conf) *mapreduce.Job{
+		JobLSHHalo:    LSHHaloJob,
+		JobLSHHaloAgg: LSHHaloAggJob,
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dp"
+	"repro/internal/mapreduce"
+)
+
+// Kernel plumbing: the reproduced paper uses the cutoff kernel throughout,
+// but its conclusion notes LSH-DDP should extend to DP variants. The
+// Gaussian kernel from the original DP paper is such a variant, and both
+// distributed pipelines support it: ρ contributions remain non-negative
+// and additive, so Basic-DDP's partial sums stay exact and LSH-DDP's local
+// estimates remain underestimates — Theorem 1's max aggregation stays
+// valid.
+
+const confKernel = "ddp.kernel"
+
+// densityKernel evaluates one pair's contribution to ρ from its squared
+// distance.
+type densityKernel struct {
+	gaussian bool
+	dc2      float64
+}
+
+func kernelFromConf(conf mapreduce.Conf) densityKernel {
+	dc := conf.GetFloat(confDc, 0)
+	return densityKernel{
+		gaussian: conf.GetInt(confKernel, int(dp.KernelCutoff)) == int(dp.KernelGaussian),
+		dc2:      dc * dc,
+	}
+}
+
+func setKernelConf(conf mapreduce.Conf, k dp.Kernel) {
+	conf.SetInt(confKernel, int(k))
+}
+
+// weight returns the ρ contribution of a pair at squared distance d2:
+// 1/0 under the cutoff kernel, exp(−d²/d_c²) under the Gaussian kernel.
+func (k densityKernel) weight(d2 float64) float64 {
+	if k.gaussian {
+		return math.Exp(-d2 / k.dc2)
+	}
+	if d2 < k.dc2 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/dp"
+	"repro/internal/evalmetrics"
+)
+
+func TestChunks(t *testing.T) {
+	cases := []struct {
+		n, cap int
+		want   []chunkRange
+	}{
+		{10, 0, []chunkRange{{0, 10}}},
+		{10, 20, []chunkRange{{0, 10}}},
+		{10, 4, []chunkRange{{0, 4}, {4, 8}, {8, 10}}},
+		{8, 4, []chunkRange{{0, 4}, {4, 8}}},
+		{0, 4, []chunkRange{{0, 0}}},
+	}
+	for _, c := range cases {
+		got := chunks(c.n, c.cap)
+		if len(got) != len(c.want) {
+			t.Fatalf("chunks(%d,%d) = %v, want %v", c.n, c.cap, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("chunks(%d,%d) = %v, want %v", c.n, c.cap, got, c.want)
+			}
+		}
+	}
+}
+
+func TestMaxPartitionCapsWork(t *testing.T) {
+	ds := dataset.Blobs("cap", 2000, 4, 2, 40, 6, 13) // two big overlapping clusters
+	dc := dp.CutoffByPercentile(ds, 0.02, 1)
+	uncapped, err := RunLSHDDP(ds, LSHConfig{
+		Config:   Config{Engine: testEngine(), Dc: dc, Seed: 3},
+		Accuracy: 0.99, M: 8, Pi: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := RunLSHDDP(ds, LSHConfig{
+		Config:   Config{Engine: testEngine(), Dc: dc, Seed: 3},
+		Accuracy: 0.99, M: 8, Pi: 3,
+		MaxPartition: 600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cap strictly reduces distance work on oversized partitions.
+	if capped.Stats.DistanceComputations >= uncapped.Stats.DistanceComputations {
+		t.Fatalf("cap did not reduce distances: %d vs %d",
+			capped.Stats.DistanceComputations, uncapped.Stats.DistanceComputations)
+	}
+	// And estimates remain valid underestimates of the truth.
+	exact, err := dp.Compute(ds, dc, dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact.Rho {
+		if capped.Rho[i] > exact.Rho[i] {
+			t.Fatalf("capped rho[%d] = %v exceeds exact %v", i, capped.Rho[i], exact.Rho[i])
+		}
+		if capped.Rho[i] > uncapped.Rho[i] {
+			t.Fatalf("capped rho[%d] = %v exceeds uncapped %v", i, capped.Rho[i], uncapped.Rho[i])
+		}
+	}
+	// Accuracy degrades roughly with the cap/partition ratio (each chunk
+	// sees cap−1 of the partition's neighbours), softened by the max over
+	// M layouts — a graded trade, not a collapse.
+	tau2, err := evalmetrics.Tau2(exact.Rho, capped.Rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau2 < 0.55 {
+		t.Fatalf("capped tau2 = %v; accuracy collapsed", tau2)
+	}
+}
+
+func TestMaxPartitionDeltaStillValid(t *testing.T) {
+	// With exact rho pinned (giant width gives one partition, then the cap
+	// splits it), capped δ̂ must still never undershoot the exact δ.
+	ds := dataset.Blobs("cap-delta", 400, 3, 2, 50, 4, 17)
+	dc := dp.CutoffByPercentile(ds, 0.05, 1)
+	exact, err := dp.Compute(ds, dc, dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := RunLSHDDP(ds, LSHConfig{
+		Config:       Config{Engine: testEngine(), Dc: dc, Seed: 9},
+		M:            4,
+		Pi:           2,
+		W:            1e9,
+		MaxPartition: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact.Rho {
+		// rho is capped too, so compare deltas only where rho happens to
+		// be exact (the valid-domain of the Theorem 2 argument).
+		if capped.Rho[i] != exact.Rho[i] {
+			continue
+		}
+		if capped.Delta[i] < exact.Delta[i]-1e-9 {
+			t.Fatalf("capped delta[%d] = %v undershoots exact %v", i, capped.Delta[i], exact.Delta[i])
+		}
+	}
+}

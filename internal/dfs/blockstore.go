@@ -1,0 +1,97 @@
+package dfs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// memStore keeps replicas in a map — the default for tests and the
+// in-process examples.
+type memStore struct {
+	blocks map[int64][]byte
+}
+
+func newMemStore() *memStore { return &memStore{blocks: make(map[int64][]byte)} }
+
+func (s *memStore) put(id int64, data []byte) error {
+	s.blocks[id] = append([]byte(nil), data...)
+	return nil
+}
+
+func (s *memStore) get(id int64) ([]byte, bool, error) {
+	data, ok := s.blocks[id]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), data...), true, nil
+}
+
+func (s *memStore) delete(id int64) error {
+	delete(s.blocks, id)
+	return nil
+}
+
+func (s *memStore) count() (int, error) { return len(s.blocks), nil }
+
+// dirStore keeps each replica as a file "blk_<id>" under a directory, so a
+// datanode's data outlives the process and memory use stays bounded —
+// the HDFS storage model. Existing block files are served after restart.
+type dirStore struct {
+	dir string
+}
+
+func newDirStore(dir string) (*dirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dfs: block dir: %w", err)
+	}
+	return &dirStore{dir: dir}, nil
+}
+
+func (s *dirStore) path(id int64) string {
+	return filepath.Join(s.dir, "blk_"+strconv.FormatInt(id, 10))
+}
+
+func (s *dirStore) put(id int64, data []byte) error {
+	// Write-then-rename so a crashed write never leaves a torn replica.
+	tmp := s.path(id) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path(id))
+}
+
+func (s *dirStore) get(id int64) ([]byte, bool, error) {
+	data, err := os.ReadFile(s.path(id))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func (s *dirStore) delete(id int64) error {
+	err := os.Remove(s.path(id))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+func (s *dirStore) count() (int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "blk_") && !strings.HasSuffix(e.Name(), ".tmp") {
+			n++
+		}
+	}
+	return n, nil
+}

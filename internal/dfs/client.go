@@ -1,0 +1,222 @@
+package dfs
+
+import (
+	"fmt"
+	"net/rpc"
+	"sync"
+)
+
+// Client implements FileSystem against a NameNode/DataNode cluster. It is
+// safe for concurrent use; datanode connections are cached and re-dialed
+// on failure.
+type Client struct {
+	// BlockSize is the split size for Put (default 1 MiB; tests shrink it
+	// to force multi-block files).
+	BlockSize int
+
+	nameAddr string
+
+	mu    sync.Mutex
+	name  *rpc.Client
+	nodes map[string]*rpc.Client
+}
+
+// NewClient connects to the namenode at addr.
+func NewClient(addr string) (*Client, error) {
+	name, err := dialRPC(addr)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: dial namenode: %w", err)
+	}
+	return &Client{
+		BlockSize: 1 << 20,
+		nameAddr:  addr,
+		name:      name,
+		nodes:     make(map[string]*rpc.Client),
+	}, nil
+}
+
+// Close releases all connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.nodes {
+		n.Close()
+	}
+	c.nodes = map[string]*rpc.Client{}
+	return c.name.Close()
+}
+
+func (c *Client) node(addr string) (*rpc.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.nodes[addr]; ok {
+		return n, nil
+	}
+	n, err := dialRPC(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.nodes[addr] = n
+	return n, nil
+}
+
+func (c *Client) dropNode(addr string) {
+	c.mu.Lock()
+	if n, ok := c.nodes[addr]; ok {
+		n.Close()
+		delete(c.nodes, addr)
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) callName(method string, args, reply interface{}) error {
+	c.mu.Lock()
+	name := c.name
+	c.mu.Unlock()
+	return name.Call(method, args, reply)
+}
+
+// Put implements FileSystem: split into blocks, ask the namenode for
+// placements, write every replica, then commit. A previous version's
+// blocks are garbage-collected after commit.
+func (c *Client) Put(name string, data []byte) error {
+	var oldBlocks []blockMeta
+	var lookup LookupReply
+	if err := c.callName("NameNode.Lookup", &LookupArgs{Name: name}, &lookup); err == nil {
+		oldBlocks = lookup.File.Blocks
+	}
+	bs := c.BlockSize
+	if bs <= 0 {
+		bs = 1 << 20
+	}
+	var sizes []int
+	for off := 0; ; off += bs {
+		remaining := len(data) - off
+		if remaining <= 0 {
+			if len(sizes) == 0 {
+				sizes = []int{0} // empty file still gets one block
+			}
+			break
+		}
+		if remaining > bs {
+			remaining = bs
+		}
+		sizes = append(sizes, remaining)
+	}
+	var created CreateReply
+	if err := c.callName("NameNode.Create", &CreateArgs{Name: name, BlockSizes: sizes}, &created); err != nil {
+		return err
+	}
+	off := 0
+	for _, blk := range created.Blocks {
+		chunk := data[off : off+blk.Size]
+		off += blk.Size
+		for _, replica := range blk.Replicas {
+			n, err := c.node(replica)
+			if err != nil {
+				return fmt.Errorf("dfs: write block %d to %s: %w", blk.ID, replica, err)
+			}
+			var rep WriteBlockReply
+			if err := n.Call("DataNode.WriteBlock", &WriteBlockArgs{ID: blk.ID, Data: chunk}, &rep); err != nil {
+				c.dropNode(replica)
+				return fmt.Errorf("dfs: write block %d to %s: %w", blk.ID, replica, err)
+			}
+		}
+	}
+	var committed CommitReply
+	if err := c.callName("NameNode.Commit", &CommitArgs{Name: name, Blocks: created.Blocks}, &committed); err != nil {
+		return err
+	}
+	c.gcBlocks(oldBlocks)
+	return nil
+}
+
+// Get implements FileSystem: read each block from the first live replica.
+func (c *Client) Get(name string) ([]byte, error) {
+	var lookup LookupReply
+	if err := c.callName("NameNode.Lookup", &LookupArgs{Name: name}, &lookup); err != nil {
+		return nil, err
+	}
+	data := make([]byte, 0, lookup.File.Size)
+	for _, blk := range lookup.File.Blocks {
+		chunk, err := c.readBlock(blk)
+		if err != nil {
+			return nil, err
+		}
+		data = append(data, chunk...)
+	}
+	return data, nil
+}
+
+func (c *Client) readBlock(blk blockMeta) ([]byte, error) {
+	var lastErr error
+	for _, replica := range blk.Replicas {
+		n, err := c.node(replica)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var rep ReadBlockReply
+		if err := n.Call("DataNode.ReadBlock", &ReadBlockArgs{ID: blk.ID}, &rep); err != nil {
+			c.dropNode(replica)
+			lastErr = err
+			continue
+		}
+		return rep.Data, nil
+	}
+	return nil, fmt.Errorf("dfs: block %d unreadable on all %d replicas: %w",
+		blk.ID, len(blk.Replicas), lastErr)
+}
+
+// List implements FileSystem.
+func (c *Client) List(prefix string) ([]string, error) {
+	var reply ListReply
+	if err := c.callName("NameNode.List", &ListArgs{Prefix: prefix}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Names, nil
+}
+
+// Delete implements FileSystem.
+func (c *Client) Delete(name string) error {
+	var reply DeleteReply
+	if err := c.callName("NameNode.Delete", &DeleteArgs{Name: name}, &reply); err != nil {
+		return err
+	}
+	c.gcBlocks(reply.Blocks)
+	return nil
+}
+
+// Stat implements FileSystem.
+func (c *Client) Stat(name string) (FileInfo, error) {
+	var lookup LookupReply
+	if err := c.callName("NameNode.Lookup", &LookupArgs{Name: name}, &lookup); err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{
+		Name:   lookup.File.Name,
+		Size:   lookup.File.Size,
+		Blocks: len(lookup.File.Blocks),
+	}, nil
+}
+
+// gcBlocks best-effort deletes replicas of obsolete blocks.
+func (c *Client) gcBlocks(blocks []blockMeta) {
+	byNode := make(map[string][]int64)
+	for _, b := range blocks {
+		for _, r := range b.Replicas {
+			byNode[r] = append(byNode[r], b.ID)
+		}
+	}
+	for addr, ids := range byNode {
+		n, err := c.node(addr)
+		if err != nil {
+			continue
+		}
+		var rep DeleteBlocksReply
+		n.Call("DataNode.DeleteBlocks", &DeleteBlocksArgs{IDs: ids}, &rep)
+	}
+}
+
+var _ FileSystem = (*Client)(nil)
+var _ FileSystem = (*MemFS)(nil)

@@ -1,0 +1,136 @@
+package dfs
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+)
+
+// DataNode stores block replicas — in memory by default, or as files in a
+// directory (StartDataNodeDir) so replicas outlive the process and memory
+// stays bounded — and serves them over RPC.
+type DataNode struct {
+	lis  net.Listener
+	addr string
+
+	mu    sync.RWMutex
+	store blockStore
+}
+
+// blockStore abstracts replica storage.
+type blockStore interface {
+	put(id int64, data []byte) error
+	get(id int64) ([]byte, bool, error)
+	delete(id int64) error
+	count() (int, error)
+}
+
+// StartDataNode launches a memory-backed datanode listening on listenAddr
+// and registers it with the namenode at nameAddr.
+func StartDataNode(nameAddr, listenAddr string) (*DataNode, error) {
+	return startDataNode(nameAddr, listenAddr, newMemStore())
+}
+
+// StartDataNodeDir launches a disk-backed datanode: replicas are stored as
+// files under dir (created if missing).
+func StartDataNodeDir(nameAddr, listenAddr, dir string) (*DataNode, error) {
+	st, err := newDirStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return startDataNode(nameAddr, listenAddr, st)
+}
+
+func startDataNode(nameAddr, listenAddr string, st blockStore) (*DataNode, error) {
+	lis, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: datanode listen: %w", err)
+	}
+	d := &DataNode{
+		lis:   lis,
+		addr:  lis.Addr().String(),
+		store: st,
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("DataNode", &dataNodeRPC{d: d}); err != nil {
+		lis.Close()
+		return nil, err
+	}
+	go acceptRPC(lis, srv)
+
+	client, err := dialRPC(nameAddr)
+	if err != nil {
+		lis.Close()
+		return nil, err
+	}
+	defer client.Close()
+	var reply RegisterNodeReply
+	if err := client.Call("NameNode.RegisterNode", &RegisterNodeArgs{Addr: d.addr}, &reply); err != nil {
+		lis.Close()
+		return nil, fmt.Errorf("dfs: register datanode: %w", err)
+	}
+	return d, nil
+}
+
+// Addr returns the datanode's dialable address.
+func (d *DataNode) Addr() string { return d.addr }
+
+// Close stops the datanode; its replicas become unreachable.
+func (d *DataNode) Close() error { return d.lis.Close() }
+
+// BlockCount reports how many blocks this node holds.
+func (d *DataNode) BlockCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n, err := d.store.count()
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+type dataNodeRPC struct{ d *DataNode }
+
+// WriteBlock stores one replica.
+func (r *dataNodeRPC) WriteBlock(args *WriteBlockArgs, reply *WriteBlockReply) error {
+	r.d.mu.Lock()
+	defer r.d.mu.Unlock()
+	return r.d.store.put(args.ID, args.Data)
+}
+
+// ReadBlock serves one replica.
+func (r *dataNodeRPC) ReadBlock(args *ReadBlockArgs, reply *ReadBlockReply) error {
+	r.d.mu.RLock()
+	defer r.d.mu.RUnlock()
+	data, ok, err := r.d.store.get(args.ID)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("dfs: block %d not on this node", args.ID)
+	}
+	reply.Data = data
+	return nil
+}
+
+// DeleteBlocks garbage-collects replicas.
+func (r *dataNodeRPC) DeleteBlocks(args *DeleteBlocksArgs, reply *DeleteBlocksReply) error {
+	r.d.mu.Lock()
+	defer r.d.mu.Unlock()
+	for _, id := range args.IDs {
+		if err := r.d.store.delete(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dialRPC(addr string) (*rpc.Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return rpc.NewClient(conn), nil
+}

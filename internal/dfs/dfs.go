@@ -1,0 +1,112 @@
+// Package dfs is a miniature distributed file system standing in for HDFS,
+// the storage substrate the reproduced paper's Hadoop cluster used. It
+// provides:
+//
+//   - FileSystem: a small blob-store interface (Put/Get/List/Delete/Stat);
+//   - MemFS: an in-process implementation for tests and the local engine;
+//   - NameNode / DataNode / Client: a replicated block store over net/rpc —
+//     files are split into fixed-size blocks, each block is written to R
+//     datanodes, and reads fall back across replicas when a datanode dies.
+//
+// The design is deliberately a teaching-scale HDFS: one namenode holding
+// all metadata in memory, push-based writes from the client to each
+// replica, and no re-replication daemon (a lost replica is only noticed —
+// and routed around — at read time).
+package dfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FileInfo describes a stored file.
+type FileInfo struct {
+	Name   string
+	Size   int64
+	Blocks int
+}
+
+// FileSystem is the storage abstraction jobs and tools write through.
+type FileSystem interface {
+	// Put stores data under name, replacing any existing file.
+	Put(name string, data []byte) error
+	// Get returns the full contents of name.
+	Get(name string) ([]byte, error)
+	// List returns the names with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+	// Delete removes name; deleting a missing file is an error.
+	Delete(name string) error
+	// Stat describes name.
+	Stat(name string) (FileInfo, error)
+}
+
+// MemFS is an in-memory FileSystem, safe for concurrent use.
+type MemFS struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+// NewMemFS returns an empty in-memory file system.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string][]byte)}
+}
+
+// Put implements FileSystem.
+func (m *MemFS) Put(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("dfs: empty file name")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get implements FileSystem.
+func (m *MemFS) Get(name string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: %s: no such file", name)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List implements FileSystem.
+func (m *MemFS) List(prefix string) ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var names []string
+	for n := range m.files {
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Delete implements FileSystem.
+func (m *MemFS) Delete(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("dfs: %s: no such file", name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// Stat implements FileSystem.
+func (m *MemFS) Stat(name string) (FileInfo, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.files[name]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("dfs: %s: no such file", name)
+	}
+	return FileInfo{Name: name, Size: int64(len(data)), Blocks: 1}, nil
+}

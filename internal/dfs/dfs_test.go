@@ -1,0 +1,296 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+)
+
+func startDFS(t *testing.T, nodes, replication int) (*NameNode, []*DataNode, *Client) {
+	t.Helper()
+	nn, err := NewNameNode("127.0.0.1:0", replication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nn.Close() })
+	var dns []*DataNode
+	for i := 0; i < nodes; i++ {
+		dn, err := StartDataNode(nn.Addr(), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dns = append(dns, dn)
+		t.Cleanup(func() { dn.Close() })
+	}
+	c, err := NewClient(nn.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return nn, dns, c
+}
+
+// fsContract exercises the FileSystem interface generically.
+func fsContract(t *testing.T, fs FileSystem) {
+	t.Helper()
+	if err := fs.Put("dir/a.txt", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put("dir/b.txt", []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put("other.txt", []byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Get("dir/a.txt")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Get a.txt = %q, %v", got, err)
+	}
+	names, err := fs.List("dir/")
+	if err != nil || len(names) != 2 || names[0] != "dir/a.txt" || names[1] != "dir/b.txt" {
+		t.Fatalf("List dir/ = %v, %v", names, err)
+	}
+	info, err := fs.Stat("dir/b.txt")
+	if err != nil || info.Size != 5 {
+		t.Fatalf("Stat = %+v, %v", info, err)
+	}
+	// Overwrite.
+	if err := fs.Put("dir/a.txt", []byte("rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = fs.Get("dir/a.txt")
+	if err != nil || string(got) != "rewritten" {
+		t.Fatalf("Get after overwrite = %q, %v", got, err)
+	}
+	if err := fs.Delete("dir/a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Get("dir/a.txt"); err == nil {
+		t.Fatal("Get after delete should fail")
+	}
+	if err := fs.Delete("dir/a.txt"); err == nil {
+		t.Fatal("double Delete should fail")
+	}
+	if _, err := fs.Get("missing"); err == nil {
+		t.Fatal("Get missing should fail")
+	}
+}
+
+func TestMemFSContract(t *testing.T) { fsContract(t, NewMemFS()) }
+
+func TestClusterFSContract(t *testing.T) {
+	_, _, c := startDFS(t, 3, 2)
+	fsContract(t, c)
+}
+
+func TestMultiBlockRoundTrip(t *testing.T) {
+	_, dns, c := startDFS(t, 3, 2)
+	c.BlockSize = 100
+	data := bytes.Repeat([]byte("0123456789"), 100) // 1000 bytes = 10 blocks
+	if err := c.Put("big", data); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Stat("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Blocks != 10 || info.Size != 1000 {
+		t.Fatalf("Stat = %+v, want 10 blocks of 1000 bytes", info)
+	}
+	got, err := c.Get("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("multi-block content mismatch")
+	}
+	// Replication 2 across 3 nodes: 20 replicas total.
+	total := 0
+	for _, dn := range dns {
+		total += dn.BlockCount()
+	}
+	if total != 20 {
+		t.Fatalf("total replicas = %d, want 20", total)
+	}
+}
+
+func TestReadSurvivesDataNodeFailure(t *testing.T) {
+	_, dns, c := startDFS(t, 3, 2)
+	c.BlockSize = 64
+	data := bytes.Repeat([]byte("abcdefgh"), 64)
+	if err := c.Put("resilient", data); err != nil {
+		t.Fatal(err)
+	}
+	// Kill one datanode; with replication 2 every block still has a live
+	// replica somewhere.
+	dns[0].Close()
+	got, err := c.Get("resilient")
+	if err != nil {
+		t.Fatalf("Get after datanode failure: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content mismatch after failover")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	_, _, c := startDFS(t, 2, 2)
+	if err := c.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty file read %d bytes", len(got))
+	}
+}
+
+func TestDeleteGarbageCollectsReplicas(t *testing.T) {
+	_, dns, c := startDFS(t, 2, 2)
+	c.BlockSize = 32
+	if err := c.Put("gc", bytes.Repeat([]byte("x"), 128)); err != nil {
+		t.Fatal(err)
+	}
+	before := dns[0].BlockCount() + dns[1].BlockCount()
+	if before == 0 {
+		t.Fatal("no replicas written")
+	}
+	if err := c.Delete("gc"); err != nil {
+		t.Fatal(err)
+	}
+	after := dns[0].BlockCount() + dns[1].BlockCount()
+	if after != 0 {
+		t.Fatalf("%d replicas left after delete", after)
+	}
+}
+
+func TestPutWithoutDataNodesFails(t *testing.T) {
+	nn, err := NewNameNode("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nn.Close()
+	c, err := NewClient(nn.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("x", []byte("y")); err == nil {
+		t.Fatal("Put with no datanodes should fail")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, _, c := startDFS(t, 3, 2)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 20; i++ {
+				name := fmt.Sprintf("c%d/f%d", g, i)
+				payload := []byte(fmt.Sprintf("payload-%d-%d", g, i))
+				if err := c.Put(name, payload); err != nil {
+					done <- err
+					return
+				}
+				got, err := c.Get(name)
+				if err != nil {
+					done <- err
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					done <- fmt.Errorf("mismatch at %s", name)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := c.List("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 160 {
+		t.Fatalf("listed %d files, want 160", len(names))
+	}
+}
+
+func TestDiskBackedDataNode(t *testing.T) {
+	nn, err := NewNameNode("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nn.Close()
+	dir := t.TempDir()
+	dn, err := StartDataNodeDir(nn.Addr(), "127.0.0.1:0", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dn.Close()
+	c, err := NewClient(nn.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.BlockSize = 64
+
+	data := bytes.Repeat([]byte("disk!"), 100)
+	if err := c.Put("on/disk", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("on/disk")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("disk round trip: %v", err)
+	}
+	// The replicas are real files on disk.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			files++
+		}
+	}
+	if files != dn.BlockCount() || files == 0 {
+		t.Fatalf("%d files on disk, BlockCount %d", files, dn.BlockCount())
+	}
+	// Delete garbage-collects the files.
+	if err := c.Delete("on/disk"); err != nil {
+		t.Fatal(err)
+	}
+	if n := dn.BlockCount(); n != 0 {
+		t.Fatalf("%d blocks left on disk after delete", n)
+	}
+}
+
+func TestDirStoreOverwriteAndMissing(t *testing.T) {
+	st, err := newDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.put(7, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.put(7, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := st.get(7)
+	if err != nil || !ok || string(data) != "v2" {
+		t.Fatalf("overwrite: %q %v %v", data, ok, err)
+	}
+	if _, ok, err := st.get(99); ok || err != nil {
+		t.Fatalf("missing block: ok=%v err=%v", ok, err)
+	}
+	if err := st.delete(99); err != nil {
+		t.Fatalf("delete missing: %v", err)
+	}
+}

@@ -1,0 +1,43 @@
+package dfs_test
+
+import (
+	"fmt"
+
+	"repro/internal/dfs"
+)
+
+// A complete mini-DFS session: namenode, two datanodes, replicated file.
+func Example() {
+	nn, err := dfs.NewNameNode("127.0.0.1:0", 2)
+	if err != nil {
+		panic(err)
+	}
+	defer nn.Close()
+	for i := 0; i < 2; i++ {
+		dn, err := dfs.StartDataNode(nn.Addr(), "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		defer dn.Close()
+	}
+	client, err := dfs.NewClient(nn.Addr())
+	if err != nil {
+		panic(err)
+	}
+	defer client.Close()
+
+	if err := client.Put("greetings/hello.txt", []byte("hello, dfs")); err != nil {
+		panic(err)
+	}
+	data, err := client.Get("greetings/hello.txt")
+	if err != nil {
+		panic(err)
+	}
+	info, err := client.Stat("greetings/hello.txt")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s (%d bytes, %d block)\n", data, info.Size, info.Blocks)
+	// Output:
+	// hello, dfs (10 bytes, 1 block)
+}

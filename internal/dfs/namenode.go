@@ -1,0 +1,252 @@
+package dfs
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Protocol types for the replicated block store.
+
+// blockMeta names one block and where its replicas live.
+type blockMeta struct {
+	ID       int64
+	Size     int
+	Replicas []string // datanode addresses
+}
+
+type fileMeta struct {
+	Name   string
+	Size   int64
+	Blocks []blockMeta
+}
+
+// RegisterNodeArgs / RegisterNodeReply: datanode sign-on.
+type RegisterNodeArgs struct{ Addr string }
+
+// RegisterNodeReply returns the namenode-assigned node id.
+type RegisterNodeReply struct{ NodeID int }
+
+// CreateArgs asks the namenode to allocate blocks for a file of the given
+// sizes; the reply carries the replica placement per block.
+type CreateArgs struct {
+	Name       string
+	BlockSizes []int
+}
+
+// CreateReply carries the replica placement per allocated block.
+type CreateReply struct {
+	Blocks []blockMeta
+}
+
+// CommitArgs finalizes a file after all replicas were written.
+type CommitArgs struct {
+	Name   string
+	Blocks []blockMeta
+}
+
+// CommitReply acknowledges a file commit.
+type CommitReply struct{}
+
+// LookupArgs / LookupReply: read path.
+type LookupArgs struct{ Name string }
+
+// LookupReply carries a file's metadata.
+type LookupReply struct{ File fileMeta }
+
+// ListArgs / ListReply.
+type ListArgs struct{ Prefix string }
+
+// ListReply carries the matching file names.
+type ListReply struct{ Names []string }
+
+// DeleteArgs / DeleteReply.
+type DeleteArgs struct{ Name string }
+
+// DeleteReply returns the deleted file's blocks for garbage collection.
+type DeleteReply struct{ Blocks []blockMeta }
+
+// WriteBlockArgs / WriteBlockReply: client → datanode.
+type WriteBlockArgs struct {
+	ID   int64
+	Data []byte
+}
+
+// WriteBlockReply acknowledges a replica write.
+type WriteBlockReply struct{}
+
+// ReadBlockArgs / ReadBlockReply: client → datanode.
+type ReadBlockArgs struct{ ID int64 }
+
+// ReadBlockReply carries one replica's bytes.
+type ReadBlockReply struct{ Data []byte }
+
+// DeleteBlocksArgs / DeleteBlocksReply: namenode/client → datanode.
+type DeleteBlocksArgs struct{ IDs []int64 }
+
+// DeleteBlocksReply acknowledges replica deletion.
+type DeleteBlocksReply struct{}
+
+// NameNode holds all file metadata and allocates block placements
+// round-robin across registered datanodes.
+type NameNode struct {
+	// Replication is the replica count per block (default 2, capped at
+	// the number of registered datanodes at allocation time).
+	Replication int
+
+	lis  net.Listener
+	addr string
+
+	mu      sync.Mutex
+	nodes   []string // datanode addresses in registration order
+	files   map[string]fileMeta
+	nextBlk int64
+	rrNext  int
+}
+
+// NewNameNode starts a namenode listening on addr (":0" picks a port).
+func NewNameNode(addr string, replication int) (*NameNode, error) {
+	if replication <= 0 {
+		replication = 2
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: namenode listen: %w", err)
+	}
+	n := &NameNode{
+		Replication: replication,
+		lis:         lis,
+		addr:        lis.Addr().String(),
+		files:       make(map[string]fileMeta),
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("NameNode", &nameNodeRPC{n: n}); err != nil {
+		lis.Close()
+		return nil, err
+	}
+	go acceptRPC(lis, srv)
+	return n, nil
+}
+
+func acceptRPC(lis net.Listener, srv *rpc.Server) {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// Addr returns the namenode's dialable address.
+func (n *NameNode) Addr() string { return n.addr }
+
+// Close stops the namenode.
+func (n *NameNode) Close() error { return n.lis.Close() }
+
+// NodeCount returns the number of registered datanodes.
+func (n *NameNode) NodeCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.nodes)
+}
+
+type nameNodeRPC struct{ n *NameNode }
+
+// RegisterNode signs a datanode on.
+func (r *nameNodeRPC) RegisterNode(args *RegisterNodeArgs, reply *RegisterNodeReply) error {
+	n := r.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes = append(n.nodes, args.Addr)
+	reply.NodeID = len(n.nodes)
+	return nil
+}
+
+// Create allocates block ids and replica placements.
+func (r *nameNodeRPC) Create(args *CreateArgs, reply *CreateReply) error {
+	n := r.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if args.Name == "" {
+		return fmt.Errorf("dfs: empty file name")
+	}
+	if len(n.nodes) == 0 {
+		return fmt.Errorf("dfs: no datanodes registered")
+	}
+	repl := n.Replication
+	if repl > len(n.nodes) {
+		repl = len(n.nodes)
+	}
+	blocks := make([]blockMeta, len(args.BlockSizes))
+	for i, size := range args.BlockSizes {
+		n.nextBlk++
+		replicas := make([]string, repl)
+		for j := 0; j < repl; j++ {
+			replicas[j] = n.nodes[(n.rrNext+j)%len(n.nodes)]
+		}
+		n.rrNext = (n.rrNext + 1) % len(n.nodes)
+		blocks[i] = blockMeta{ID: n.nextBlk, Size: size, Replicas: replicas}
+	}
+	reply.Blocks = blocks
+	return nil
+}
+
+// Commit finalizes a file (overwriting any previous version's metadata;
+// the client deletes the old blocks).
+func (r *nameNodeRPC) Commit(args *CommitArgs, reply *CommitReply) error {
+	n := r.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var size int64
+	for _, b := range args.Blocks {
+		size += int64(b.Size)
+	}
+	n.files[args.Name] = fileMeta{Name: args.Name, Size: size, Blocks: args.Blocks}
+	return nil
+}
+
+// Lookup returns a file's metadata.
+func (r *nameNodeRPC) Lookup(args *LookupArgs, reply *LookupReply) error {
+	n := r.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f, ok := n.files[args.Name]
+	if !ok {
+		return fmt.Errorf("dfs: %s: no such file", args.Name)
+	}
+	reply.File = f
+	return nil
+}
+
+// List returns names under a prefix.
+func (r *nameNodeRPC) List(args *ListArgs, reply *ListReply) error {
+	n := r.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for name := range n.files {
+		if strings.HasPrefix(name, args.Prefix) {
+			reply.Names = append(reply.Names, name)
+		}
+	}
+	sort.Strings(reply.Names)
+	return nil
+}
+
+// Delete drops a file's metadata and returns its blocks so the client can
+// garbage-collect replicas.
+func (r *nameNodeRPC) Delete(args *DeleteArgs, reply *DeleteReply) error {
+	n := r.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f, ok := n.files[args.Name]
+	if !ok {
+		return fmt.Errorf("dfs: %s: no such file", args.Name)
+	}
+	delete(n.files, args.Name)
+	reply.Blocks = f.Blocks
+	return nil
+}

@@ -1,0 +1,235 @@
+// Package dfsio bridges the mini-DFS and the MapReduce framework: it
+// persists record sets ([]mapreduce.Pair) and data sets as DFS files, the
+// way Hadoop jobs stage inputs and outputs in HDFS. Records use a
+// length-prefixed binary framing (not CSV) so arbitrary binary values —
+// the point codecs — round-trip exactly.
+//
+// Layout: a record set is stored as numbered part files under a directory
+// prefix ("path/part-00000", "path/part-00001", …), one part per shard,
+// mirroring Hadoop's output layout. Loading concatenates parts in order.
+package dfsio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/dfs"
+	"repro/internal/mapreduce"
+	"repro/internal/points"
+)
+
+// partName formats the canonical shard file name.
+func partName(prefix string, i int) string {
+	return fmt.Sprintf("%s/part-%05d", prefix, i)
+}
+
+// SavePairs writes records as `shards` part files under prefix. Existing
+// parts under the prefix are replaced; leftover higher-numbered parts from
+// a previous larger run are deleted.
+func SavePairs(fs dfs.FileSystem, prefix string, records []mapreduce.Pair, shards int) error {
+	if shards <= 0 {
+		shards = 1
+	}
+	// Delete stale parts first so a smaller rewrite cannot resurrect them.
+	old, err := fs.List(prefix + "/part-")
+	if err != nil {
+		return err
+	}
+	for _, name := range old {
+		if err := fs.Delete(name); err != nil {
+			return err
+		}
+	}
+	per := (len(records) + shards - 1) / shards
+	if per == 0 {
+		per = 1
+	}
+	part := 0
+	for off := 0; off == 0 || off < len(records); off += per {
+		end := off + per
+		if end > len(records) {
+			end = len(records)
+		}
+		var buf bytes.Buffer
+		if err := encodePairs(&buf, records[off:end]); err != nil {
+			return err
+		}
+		if err := fs.Put(partName(prefix, part), buf.Bytes()); err != nil {
+			return err
+		}
+		part++
+		if len(records) == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// LoadPairs reads every part file under prefix, in order.
+func LoadPairs(fs dfs.FileSystem, prefix string) ([]mapreduce.Pair, error) {
+	names, err := fs.List(prefix + "/part-")
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("dfsio: no parts under %s", prefix)
+	}
+	var records []mapreduce.Pair
+	for _, name := range names {
+		data, err := fs.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		part, err := decodePairs(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("dfsio: %s: %w", name, err)
+		}
+		records = append(records, part...)
+	}
+	return records, nil
+}
+
+// record framing: uint32 keyLen | key | uint32 valLen | value.
+func encodePairs(w io.Writer, records []mapreduce.Pair) error {
+	var hdr [4]byte
+	for _, r := range records {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(r.Key)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, r.Key); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(r.Value)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(r.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodePairs(r io.Reader) ([]mapreduce.Pair, error) {
+	var records []mapreduce.Pair
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return records, nil
+			}
+			return nil, err
+		}
+		key := make([]byte, binary.LittleEndian.Uint32(hdr[:]))
+		if _, err := io.ReadFull(r, key); err != nil {
+			return nil, err
+		}
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		val := make([]byte, binary.LittleEndian.Uint32(hdr[:]))
+		if _, err := io.ReadFull(r, val); err != nil {
+			return nil, err
+		}
+		records = append(records, mapreduce.Pair{Key: string(key), Value: val})
+	}
+}
+
+// SaveDataset stores a data set under prefix: points as binary records
+// (and, when labels exist, a parallel "<prefix>.labels" CSV file).
+func SaveDataset(fs dfs.FileSystem, prefix string, ds *points.Dataset, shards int) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	records := make([]mapreduce.Pair, ds.N())
+	for i, p := range ds.Points {
+		records[i] = mapreduce.Pair{Value: points.EncodePoint(p)}
+	}
+	if err := SavePairs(fs, prefix, records, shards); err != nil {
+		return err
+	}
+	if ds.Labels != nil {
+		var buf bytes.Buffer
+		if err := dataset.WriteCSV(&buf, &points.Dataset{
+			Name:   ds.Name,
+			Points: labelCarrier(len(ds.Labels)),
+			Labels: ds.Labels,
+		}); err != nil {
+			return err
+		}
+		return fs.Put(prefix+".labels", buf.Bytes())
+	}
+	return nil
+}
+
+// labelCarrier builds 1-D dummy points so labels can reuse the CSV codec.
+func labelCarrier(n int) []points.Point {
+	ps := make([]points.Point, n)
+	for i := range ps {
+		ps[i] = points.Point{ID: int32(i), Pos: points.Vector{0}}
+	}
+	return ps
+}
+
+// LoadDataset restores a data set saved by SaveDataset.
+func LoadDataset(fs dfs.FileSystem, prefix, name string) (*points.Dataset, error) {
+	records, err := LoadPairs(fs, prefix)
+	if err != nil {
+		return nil, err
+	}
+	ds := &points.Dataset{Name: name, Points: make([]points.Point, len(records))}
+	for i, r := range records {
+		p, rest, err := points.DecodePoint(r.Value)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("dfsio: %d trailing bytes in point record %d", len(rest), i)
+		}
+		ds.Points[i] = p
+	}
+	if raw, err := fs.Get(prefix + ".labels"); err == nil {
+		carrier, err := dataset.ReadCSV(bytes.NewReader(raw), name, true)
+		if err != nil {
+			return nil, err
+		}
+		if carrier.N() != ds.N() {
+			return nil, fmt.Errorf("dfsio: %d labels for %d points", carrier.N(), ds.N())
+		}
+		ds.Labels = carrier.Labels
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// LoadPart reads a single part file written by SavePairs — the unit a
+// distributed map task consumes when a job's input is staged in the DFS.
+func LoadPart(fs dfs.FileSystem, name string) ([]mapreduce.Pair, error) {
+	data, err := fs.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	records, err := decodePairs(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("dfsio: %s: %w", name, err)
+	}
+	return records, nil
+}
+
+// ListParts returns the part files under prefix, in shard order.
+func ListParts(fs dfs.FileSystem, prefix string) ([]string, error) {
+	names, err := fs.List(prefix + "/part-")
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("dfsio: no parts under %s", prefix)
+	}
+	return names, nil
+}

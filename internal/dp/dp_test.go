@@ -1,0 +1,342 @@
+package dp
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/points"
+)
+
+// naive is an independent, maximally-simple DP implementation used as the
+// oracle for the optimized one.
+func naive(ds *points.Dataset, dc float64, kernel Kernel) *Result {
+	n := ds.N()
+	res := &Result{
+		Rho:     make([]float64, n),
+		Delta:   make([]float64, n),
+		Upslope: make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := points.Dist(ds.Points[i].Pos, ds.Points[j].Pos)
+			if kernel == KernelGaussian {
+				res.Rho[i] += math.Exp(-(d * d) / (dc * dc))
+			} else if d < dc {
+				res.Rho[i]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		best := math.Inf(1)
+		var bestJ int32 = -1
+		var maxD float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := points.Dist(ds.Points[i].Pos, ds.Points[j].Pos)
+			if d > maxD {
+				maxD = d
+			}
+			if DenserVals(res.Rho[j], res.Rho[i], int32(j), int32(i)) && d < best {
+				best = d
+				bestJ = int32(j)
+			}
+		}
+		if bestJ == -1 {
+			res.Delta[i] = maxD
+		} else {
+			res.Delta[i] = best
+		}
+		res.Upslope[i] = bestJ
+		if res.Delta[i] > res.MaxDelta {
+			res.MaxDelta = res.Delta[i]
+		}
+	}
+	if n == 1 {
+		res.Delta[0] = 0
+	}
+	return res
+}
+
+func randomSet(n, dim int, seed int64) *points.Dataset {
+	rng := points.NewRand(seed)
+	vs := make([]points.Vector, n)
+	for i := range vs {
+		v := make(points.Vector, dim)
+		for j := range v {
+			v[j] = rng.Float64() * 10
+		}
+		vs[i] = v
+	}
+	return points.FromVectors("rand", vs)
+}
+
+func assertMatches(t *testing.T, got, want *Result, label string) {
+	t.Helper()
+	for i := range want.Rho {
+		if math.Abs(got.Rho[i]-want.Rho[i]) > 1e-9 {
+			t.Fatalf("%s: rho[%d] = %v, want %v", label, i, got.Rho[i], want.Rho[i])
+		}
+		if math.Abs(got.Delta[i]-want.Delta[i]) > 1e-9 {
+			t.Fatalf("%s: delta[%d] = %v, want %v", label, i, got.Delta[i], want.Delta[i])
+		}
+		if got.Upslope[i] != want.Upslope[i] {
+			t.Fatalf("%s: upslope[%d] = %d, want %d", label, i, got.Upslope[i], want.Upslope[i])
+		}
+	}
+}
+
+func TestComputeMatchesNaive(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		ds := randomSet(150, 3, seed)
+		dc := CutoffByPercentile(ds, 0.05, seed)
+		got, err := Compute(ds, dc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMatches(t, got, naive(ds, dc, KernelCutoff), "cutoff")
+	}
+}
+
+func TestTriangleFilterIsExact(t *testing.T) {
+	ds := randomSet(200, 4, 7)
+	dc := CutoffByPercentile(ds, 0.03, 7)
+	plain, err := Compute(ds, dc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := Compute(ds, dc, Options{TriangleFilter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatches(t, filtered, plain, "triangle-filter")
+}
+
+func TestTriangleFilterSavesDistances(t *testing.T) {
+	ds := randomSet(400, 2, 9)
+	dc := CutoffByPercentile(ds, 0.01, 9)
+	var plainCount, filtCount int64
+	if _, err := Compute(ds, dc, Options{Counter: &plainCount}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compute(ds, dc, Options{TriangleFilter: true, Counter: &filtCount}); err != nil {
+		t.Fatal(err)
+	}
+	if filtCount >= plainCount {
+		t.Fatalf("triangle filter saved nothing: %d vs %d", filtCount, plainCount)
+	}
+}
+
+func TestGaussianKernelMatchesNaive(t *testing.T) {
+	ds := randomSet(120, 2, 11)
+	dc := CutoffByPercentile(ds, 0.05, 11)
+	got, err := Compute(ds, dc, Options{Kernel: KernelGaussian})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naive(ds, dc, KernelGaussian)
+	for i := range want.Rho {
+		if math.Abs(got.Rho[i]-want.Rho[i]) > 1e-9 {
+			t.Fatalf("gaussian rho[%d] = %v, want %v", i, got.Rho[i], want.Rho[i])
+		}
+	}
+}
+
+func TestDenserTotalOrder(t *testing.T) {
+	rho := []float64{3, 1, 3, 2}
+	// Equal rho: lower ID wins.
+	if !Denser(rho, 0, 2) || Denser(rho, 2, 0) {
+		t.Fatal("tie-break by ID broken")
+	}
+	if !Denser(rho, 0, 3) || Denser(rho, 1, 3) {
+		t.Fatal("rho comparison broken")
+	}
+	// Denser defines a strict total order: exactly one of (i<j, j<i) holds
+	// for i != j.
+	for i := int32(0); i < 4; i++ {
+		for j := int32(0); j < 4; j++ {
+			if i == j {
+				continue
+			}
+			a, b := Denser(rho, i, j), Denser(rho, j, i)
+			if a == b {
+				t.Fatalf("order not strict at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestAbsolutePeakInvariants(t *testing.T) {
+	ds := randomSet(100, 2, 13)
+	dc := CutoffByPercentile(ds, 0.1, 13)
+	res, err := Compute(ds, dc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := 0
+	var peak int32
+	for i, u := range res.Upslope {
+		if u == -1 {
+			peaks++
+			peak = int32(i)
+		}
+	}
+	if peaks != 1 {
+		t.Fatalf("%d absolute peaks, want exactly 1", peaks)
+	}
+	// The peak is the densest point under the total order.
+	for i := range res.Rho {
+		if int32(i) != peak && Denser(res.Rho, int32(i), peak) {
+			t.Fatalf("point %d denser than peak %d", i, peak)
+		}
+	}
+	// Upslope points are strictly denser; assignment chains terminate.
+	for i, u := range res.Upslope {
+		if u == -1 {
+			continue
+		}
+		if !Denser(res.Rho, u, int32(i)) {
+			t.Fatalf("upslope %d of %d is not denser", u, i)
+		}
+	}
+}
+
+// Property: on random data, δ of every non-peak point is the distance to
+// its upslope point, and no denser point is closer.
+func TestDeltaOptimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ds := randomSet(60, 2, seed)
+		dc := CutoffByPercentile(ds, 0.1, seed)
+		res, err := Compute(ds, dc, Options{})
+		if err != nil {
+			return false
+		}
+		for i := range res.Rho {
+			u := res.Upslope[i]
+			if u == -1 {
+				continue
+			}
+			if math.Abs(points.Dist(ds.Points[i].Pos, ds.Points[u].Pos)-res.Delta[i]) > 1e-9 {
+				return false
+			}
+			for j := range res.Rho {
+				if int32(j) == int32(i) || !Denser(res.Rho, int32(j), int32(i)) {
+					continue
+				}
+				if points.Dist(ds.Points[i].Pos, ds.Points[j].Pos) < res.Delta[i]-1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeEdgeCases(t *testing.T) {
+	if _, err := Compute(points.FromVectors("x", []points.Vector{{1}}), 0, Options{}); err == nil {
+		t.Fatal("want error for non-positive dc")
+	}
+	empty, err := Compute(&points.Dataset{}, 1, Options{})
+	if err != nil || len(empty.Rho) != 0 {
+		t.Fatalf("empty dataset: %v %v", empty, err)
+	}
+	one, err := Compute(points.FromVectors("one", []points.Vector{{5, 5}}), 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Delta[0] != 0 || one.Upslope[0] != -1 {
+		t.Fatalf("single point: delta=%v upslope=%d", one.Delta[0], one.Upslope[0])
+	}
+}
+
+func TestCutoffByPercentileMatchesSortedPairs(t *testing.T) {
+	ds := randomSet(80, 2, 17)
+	var dists []float64
+	for i := 0; i < ds.N(); i++ {
+		for j := i + 1; j < ds.N(); j++ {
+			dists = append(dists, points.Dist(ds.Points[i].Pos, ds.Points[j].Pos))
+		}
+	}
+	sort.Float64s(dists)
+	want := dists[int(0.02*float64(len(dists)))-1]
+	if got := CutoffByPercentile(ds, 0.02, 1); got != want {
+		t.Fatalf("dc = %v, want %v", got, want)
+	}
+}
+
+func TestGridIndexIsExact(t *testing.T) {
+	for _, dim := range []int{1, 2, 4} {
+		ds := randomSet(300, dim, int64(20+dim))
+		dc := CutoffByPercentile(ds, 0.03, 1)
+		plain, err := Compute(ds, dc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid, err := Compute(ds, dc, Options{GridIndex: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMatches(t, grid, plain, "grid-index")
+	}
+}
+
+func TestGridIndexSavesDistances(t *testing.T) {
+	ds := randomSet(2000, 2, 23)
+	dc := CutoffByPercentile(ds, 0.01, 1)
+	var plainCount, gridCount int64
+	if _, err := Compute(ds, dc, Options{Counter: &plainCount}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compute(ds, dc, Options{GridIndex: true, Counter: &gridCount}); err != nil {
+		t.Fatal(err)
+	}
+	// The grid only accelerates the ρ pass; the δ sweep stays quadratic,
+	// so the total should drop to roughly half (δ pass) plus a small
+	// near-linear ρ term.
+	if float64(gridCount) >= 0.55*float64(plainCount) {
+		t.Fatalf("grid index saved too little: %d vs %d", gridCount, plainCount)
+	}
+	rhoPlain := plainCount / 2
+	rhoGrid := gridCount - plainCount/2
+	if rhoGrid*10 >= rhoPlain {
+		t.Fatalf("grid rho pass too expensive: ~%d vs %d", rhoGrid, rhoPlain)
+	}
+}
+
+func TestGridIndexHighDimFallsBack(t *testing.T) {
+	ds := randomSet(100, 8, 29)
+	dc := CutoffByPercentile(ds, 0.05, 1)
+	plain, err := Compute(ds, dc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := Compute(ds, dc, Options{GridIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatches(t, grid, plain, "grid-fallback")
+}
+
+func TestGridNegativeCoordinates(t *testing.T) {
+	// Cell flooring near zero is the classic off-by-one spot.
+	vs := []points.Vector{{-0.1, -0.1}, {0.1, 0.1}, {-1.5, 2.5}, {0, 0}}
+	ds := points.FromVectors("neg", vs)
+	plain, err := Compute(ds, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := Compute(ds, 0.5, Options{GridIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatches(t, grid, plain, "grid-negative")
+}

@@ -1,0 +1,19 @@
+package eddpc
+
+import (
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+)
+
+// JobFactories returns registry entries for the EDDPC jobs, for use with
+// rpcmr.RegisterJobs on distributed workers.
+func JobFactories() map[string]func(mapreduce.Conf) *mapreduce.Job {
+	return map[string]func(mapreduce.Conf) *mapreduce.Job{
+		JobRho:      RhoJob,
+		JobDeltaLoc: DeltaLocalJob,
+		JobDeltaRef: DeltaRefineJob,
+		JobDeltaAgg: func(conf mapreduce.Conf) *mapreduce.Job {
+			return core.DeltaAggJob(JobDeltaAgg, conf)
+		},
+	}
+}

@@ -1,0 +1,347 @@
+package eddpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/mapreduce"
+	"repro/internal/points"
+)
+
+// assignerCache avoids recomputing pivot geometry per task; keyed by the
+// encoded pivot string (tasks of one job share it).
+var assignerCache sync.Map // string -> *assigner
+
+func assignerFromConf(conf mapreduce.Conf) (*assigner, error) {
+	key := conf[confPivots]
+	if v, ok := assignerCache.Load(key); ok {
+		return v.(*assigner), nil
+	}
+	a, err := newAssigner(conf)
+	if err != nil {
+		return nil, err
+	}
+	assignerCache.Store(key, a)
+	return a, nil
+}
+
+const (
+	tagHome    byte = 1
+	tagVisitor byte = 0
+	tagData    byte = 2
+	tagQuery   byte = 3
+)
+
+func tagged(tag byte, payload []byte) []byte {
+	return append([]byte{tag}, payload...)
+}
+
+func untag(v []byte) (byte, []byte, error) {
+	if len(v) < 1 {
+		return 0, nil, fmt.Errorf("eddpc: empty tagged value")
+	}
+	return v[0], v[1:], nil
+}
+
+// RhoJob computes exact ρ in a single job. Map assigns each point to its
+// home Voronoi cell and replicates it into every cell whose bisector lower
+// bound is within d_c; the reducer counts, for each home point, its
+// d_c-neighbours among home points and visitors. Every d_c-neighbour of a
+// home point is guaranteed present (the bound never exceeds the true
+// point-to-cell distance), so no aggregation job is needed.
+func RhoJob(conf mapreduce.Conf) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name: JobRho,
+		Conf: conf,
+		Map: func(ctx *mapreduce.TaskContext, _ string, value []byte, out mapreduce.Emitter) error {
+			a, err := assignerFromConf(ctx.Conf)
+			if err != nil {
+				return err
+			}
+			dc := ctx.Conf.GetFloat(confDc, 0)
+			p, _, err := points.DecodePoint(value)
+			if err != nil {
+				return err
+			}
+			var nd int64
+			asg := a.assign(p.Pos, &nd)
+			addInt64(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			out.Emit(strconv.Itoa(asg.home), tagged(tagHome, value))
+			for c, b := range asg.bounds {
+				if c != asg.home && b < dc {
+					out.Emit(strconv.Itoa(c), tagged(tagVisitor, value))
+				}
+			}
+			return nil
+		},
+		Reduce: func(ctx *mapreduce.TaskContext, _ string, values [][]byte, out mapreduce.Emitter) error {
+			dc := ctx.Conf.GetFloat(confDc, 0)
+			dc2 := dc * dc
+			var home, visitors []points.Point
+			for _, v := range values {
+				tag, payload, err := untag(v)
+				if err != nil {
+					return err
+				}
+				p, _, err := points.DecodePoint(payload)
+				if err != nil {
+					return err
+				}
+				if tag == tagHome {
+					home = append(home, p)
+				} else {
+					visitors = append(visitors, p)
+				}
+			}
+			rho := make([]float64, len(home))
+			var nd int64
+			for i := range home {
+				for j := i + 1; j < len(home); j++ {
+					nd++
+					if points.SqDist(home[i].Pos, home[j].Pos) < dc2 {
+						rho[i]++
+						rho[j]++
+					}
+				}
+				for v := range visitors {
+					nd++
+					if points.SqDist(home[i].Pos, visitors[v].Pos) < dc2 {
+						rho[i]++
+					}
+				}
+			}
+			addInt64(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			for i, p := range home {
+				out.Emit(idKey(p.ID), points.EncodeRhoValue(points.RhoValue{ID: p.ID, Rho: rho[i]}))
+			}
+			return nil
+		},
+	}
+}
+
+// DeltaLocalJob computes, inside each home cell, the upper bound
+// δ_ub = min distance to a denser home point; a locally densest point gets
+// δ_ub = +∞ (its refinement pass will visit every cell).
+func DeltaLocalJob(conf mapreduce.Conf) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name: JobDeltaLoc,
+		Conf: conf,
+		Map: func(ctx *mapreduce.TaskContext, _ string, value []byte, out mapreduce.Emitter) error {
+			a, err := assignerFromConf(ctx.Conf)
+			if err != nil {
+				return err
+			}
+			rp, _, err := points.DecodeRhoPoint(value)
+			if err != nil {
+				return err
+			}
+			var nd int64
+			asg := a.assign(rp.Pos, &nd)
+			addInt64(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			out.Emit(strconv.Itoa(asg.home), value)
+			return nil
+		},
+		Reduce: func(ctx *mapreduce.TaskContext, _ string, values [][]byte, out mapreduce.Emitter) error {
+			pts := make([]points.RhoPoint, 0, len(values))
+			for _, v := range values {
+				rp, _, err := points.DecodeRhoPoint(v)
+				if err != nil {
+					return err
+				}
+				pts = append(pts, rp)
+			}
+			best2 := make([]float64, len(pts))
+			up := make([]int32, len(pts))
+			for i := range pts {
+				best2[i] = math.Inf(1)
+				up[i] = -1
+			}
+			var nd int64
+			for i := range pts {
+				for j := i + 1; j < len(pts); j++ {
+					d2 := points.SqDist(pts[i].Pos, pts[j].Pos)
+					nd++
+					if dp.DenserVals(pts[j].Rho, pts[i].Rho, pts[j].ID, pts[i].ID) {
+						if d2 < best2[i] {
+							best2[i] = d2
+							up[i] = pts[j].ID
+						}
+					} else if d2 < best2[j] {
+						best2[j] = d2
+						up[j] = pts[i].ID
+					}
+				}
+			}
+			addInt64(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			for i, p := range pts {
+				dv := points.DeltaValue{ID: p.ID, Delta: math.Inf(1), Upslope: -1}
+				if up[i] >= 0 {
+					dv.Delta = math.Sqrt(best2[i])
+					dv.Upslope = up[i]
+				}
+				out.Emit(idKey(p.ID), points.EncodeDeltaValue(dv))
+			}
+			return nil
+		},
+	}
+}
+
+// query record: RhoPoint | float64 ub | int32 ubUpslope.
+func encodeQuery(rp points.RhoPoint, ub float64, ubUp int32) []byte {
+	buf := points.AppendRhoPoint(nil, rp)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(ub))
+	return binary.LittleEndian.AppendUint32(buf, uint32(ubUp))
+}
+
+func decodeQuery(v []byte) (points.RhoPoint, float64, int32, error) {
+	rp, rest, err := points.DecodeRhoPoint(v)
+	if err != nil {
+		return points.RhoPoint{}, 0, 0, err
+	}
+	if len(rest) != 12 {
+		return points.RhoPoint{}, 0, 0, fmt.Errorf("eddpc: query tail is %d bytes, want 12", len(rest))
+	}
+	ub := math.Float64frombits(binary.LittleEndian.Uint64(rest))
+	up := int32(binary.LittleEndian.Uint32(rest[8:]))
+	return rp, ub, up, nil
+}
+
+// DeltaRefineJob finalizes δ. Map sends every point as "data" to its home
+// cell, and as a "query" (carrying its δ_ub) to every OTHER cell whose
+// bisector lower bound is under δ_ub — the EDDPC-style filter that skips
+// cells which provably cannot improve the bound. The reducer answers each
+// query with the nearest denser home point closer than the query's bound,
+// if any.
+func DeltaRefineJob(conf mapreduce.Conf) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name: JobDeltaRef,
+		Conf: conf,
+		Map: func(ctx *mapreduce.TaskContext, _ string, value []byte, out mapreduce.Emitter) error {
+			a, err := assignerFromConf(ctx.Conf)
+			if err != nil {
+				return err
+			}
+			rp, ub, _, err := decodeQuery(value)
+			if err != nil {
+				return err
+			}
+			var nd int64
+			asg := a.assign(rp.Pos, &nd)
+			addInt64(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			out.Emit(strconv.Itoa(asg.home), tagged(tagData, points.EncodeRhoPoint(rp)))
+			for c, b := range asg.bounds {
+				if c != asg.home && b < ub {
+					out.Emit(strconv.Itoa(c), tagged(tagQuery, value))
+				}
+			}
+			return nil
+		},
+		Reduce: func(ctx *mapreduce.TaskContext, _ string, values [][]byte, out mapreduce.Emitter) error {
+			var data []points.RhoPoint
+			type query struct {
+				rp points.RhoPoint
+				ub float64
+			}
+			var queries []query
+			for _, v := range values {
+				tag, payload, err := untag(v)
+				if err != nil {
+					return err
+				}
+				switch tag {
+				case tagData:
+					rp, _, err := points.DecodeRhoPoint(payload)
+					if err != nil {
+						return err
+					}
+					data = append(data, rp)
+				case tagQuery:
+					rp, ub, _, err := decodeQuery(payload)
+					if err != nil {
+						return err
+					}
+					queries = append(queries, query{rp: rp, ub: ub})
+				default:
+					return fmt.Errorf("eddpc: unknown tag %d", tag)
+				}
+			}
+			var nd int64
+			for _, q := range queries {
+				best2 := q.ub * q.ub
+				if math.IsInf(q.ub, 1) {
+					best2 = math.Inf(1)
+				}
+				var bestUp int32 = -1
+				for _, d := range data {
+					if !dp.DenserVals(d.Rho, q.rp.Rho, d.ID, q.rp.ID) {
+						continue
+					}
+					d2 := points.SqDist(q.rp.Pos, d.Pos)
+					nd++
+					if d2 < best2 {
+						best2 = d2
+						bestUp = d.ID
+					}
+				}
+				if bestUp >= 0 {
+					out.Emit(idKey(q.rp.ID), points.EncodeDeltaValue(points.DeltaValue{
+						ID: q.rp.ID, Delta: math.Sqrt(best2), Upslope: bestUp,
+					}))
+				}
+			}
+			addInt64(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			return nil
+		},
+	}
+}
+
+// resolveAbsolutePeak fixes the single remaining +∞ δ — the global density
+// peak, for which no denser point exists anywhere — by computing its exact
+// max distance centrally. Returns the number of distances evaluated.
+func resolveAbsolutePeak(ds *points.Dataset, rho, delta []float64, upslope []int32) (int64, error) {
+	peak := -1
+	for i, d := range delta {
+		if math.IsInf(d, 1) {
+			if peak != -1 {
+				return 0, fmt.Errorf("eddpc: multiple unresolved peaks (%d and %d); refinement bug", peak, i)
+			}
+			peak = i
+		}
+	}
+	if peak == -1 {
+		return 0, nil // resolved by refinement min already? cannot happen, but harmless
+	}
+	for i := range rho {
+		if i != peak && dp.Denser(rho, int32(i), int32(peak)) {
+			return 0, fmt.Errorf("eddpc: unresolved point %d is not the global density peak", peak)
+		}
+	}
+	var max2 float64
+	var nd int64
+	for j := range ds.Points {
+		if j == peak {
+			continue
+		}
+		d2 := points.SqDist(ds.Points[peak].Pos, ds.Points[j].Pos)
+		nd++
+		if d2 > max2 {
+			max2 = d2
+		}
+	}
+	delta[peak] = math.Sqrt(max2)
+	upslope[peak] = -1
+	return nd, nil
+}
+
+func idKey(id int32) string { return fmt.Sprintf("%09d", id) }
+
+func addInt64(p *int64, delta int64) {
+	if delta != 0 {
+		core.AtomicAdd(p, delta)
+	}
+}

@@ -1,0 +1,30 @@
+package evalmetrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/evalmetrics"
+)
+
+// External validation of a clustering against ground truth.
+func ExampleARI() {
+	truth := []int{0, 0, 0, 1, 1, 1}
+	perfect := []int{5, 5, 5, 9, 9, 9} // same partition, different ids
+	offByOne := []int{0, 0, 1, 1, 1, 1}
+	a1, _ := evalmetrics.ARI(truth, perfect)
+	a2, _ := evalmetrics.ARI(truth, offByOne)
+	fmt.Printf("perfect: %.3f  one mislabel: %.3f\n", a1, a2)
+	// Output:
+	// perfect: 1.000  one mislabel: 0.324
+}
+
+// The paper's approximation metrics for ρ̂ (Section VI-C).
+func ExampleTau2() {
+	exact := []float64{10, 20, 30, 40}
+	approx := []float64{10, 18, 30, 38} // undercounts by 4 of 100
+	t1, _ := evalmetrics.Tau1(exact, approx)
+	t2, _ := evalmetrics.Tau2(exact, approx)
+	fmt.Printf("tau1=%.2f tau2=%.2f\n", t1, t2)
+	// Output:
+	// tau1=0.50 tau2=0.96
+}

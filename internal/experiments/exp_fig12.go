@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/evalmetrics"
+)
+
+// ExpFig12 regenerates Figure 12: the effect of the LSH parameters M and π
+// on runtime (a) and the accuracy metric τ₂ (b), on BigCross500K with
+// A = 0.99 and w solved per configuration.
+//
+// The paper's shape: with small π runtime grows with M; with large π the
+// trend can reverse (small M + large π skews partition sizes); τ₂ is
+// unstable below M≈5 and ≈0.99 above it. Recommended region: M ∈ [10,20],
+// π ∈ [3,10].
+func ExpFig12(opt Options) (*Report, error) {
+	ds, err := opt.load("BigCross500K")
+	if err != nil {
+		return nil, err
+	}
+	eng := opt.engine()
+	dc := dp.CutoffByPercentile(ds, 0.02, opt.Seed)
+	opt.logf("fig12: N=%d dc=%.4g, computing exact rho...", ds.N(), dc)
+	exact, err := dp.Compute(ds, dc, dp.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{
+		Title:   fmt.Sprintf("Figure 12: effect of M and pi on runtime and tau2 (BigCross500K, N=%d, A=0.99)", ds.N()),
+		Columns: []string{"M", "pi", "w", "runtime", "dist", "tau2"},
+	}
+	ms := []int{2, 5, 10, 20, 30}
+	pis := []int{3, 10, 20}
+	if opt.scale() > 2 {
+		ms = []int{2, 5, 10, 20}
+		pis = []int{3, 10}
+	}
+	for _, pi := range pis {
+		for _, m := range ms {
+			cfg := opt.lshConfig(eng)
+			cfg.Dc = dc
+			cfg.M = m
+			cfg.Pi = pi
+			res, err := core.RunLSHDDP(ds, cfg)
+			if err != nil {
+				return nil, err
+			}
+			tau2, err := evalmetrics.Tau2(exact.Rho, res.Rho)
+			if err != nil {
+				return nil, err
+			}
+			opt.logf("fig12: M=%d pi=%d tau2=%.4f wall=%s", m, pi, tau2, fsec(res.Stats.Wall))
+			r.AddRow(
+				fmt.Sprintf("%d", m),
+				fmt.Sprintf("%d", pi),
+				fmt.Sprintf("%.4g", res.Stats.W),
+				fsec(res.Stats.Wall),
+				fcount(res.Stats.DistanceComputations),
+				fmt.Sprintf("%.4f", tau2),
+			)
+		}
+	}
+	r.Notes = append(r.Notes,
+		"expected shape: runtime grows with M at small pi; tau2 unstable for M < 5, ~0.99 for M >= 5",
+		"recommended operating region (paper): M in [10,20], pi in [3,10]")
+	return r, nil
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// HTMLReport renders a set of experiment reports as one self-contained
+// HTML page: every report as a table, plus a simple inline-SVG bar chart
+// for reports whose last metric-like columns parse as numbers. dpbench
+// writes this with -html so a full evaluation run produces a browsable
+// artifact alongside the text output.
+func HTMLReport(w io.Writer, title string, reports []*Report) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString(`<style>
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 70rem; color: #222; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2.5rem; }
+table { border-collapse: collapse; margin: 0.75rem 0; font-size: 0.85rem; }
+th, td { border: 1px solid #ccc; padding: 0.3rem 0.6rem; text-align: left; }
+th { background: #f2f2f2; }
+.note { color: #666; font-size: 0.8rem; margin: 0.15rem 0; }
+svg { margin-top: 0.5rem; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+	for _, r := range reports {
+		fmt.Fprintf(&b, "<h2>%s</h2>\n<table>\n<tr>", html.EscapeString(r.Title))
+		for _, c := range r.Columns {
+			fmt.Fprintf(&b, "<th>%s</th>", html.EscapeString(c))
+		}
+		b.WriteString("</tr>\n")
+		for _, row := range r.Rows {
+			b.WriteString("<tr>")
+			for _, cell := range row {
+				fmt.Fprintf(&b, "<td>%s</td>", html.EscapeString(cell))
+			}
+			b.WriteString("</tr>\n")
+		}
+		b.WriteString("</table>\n")
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "<p class=\"note\">note: %s</p>\n", html.EscapeString(n))
+		}
+		if chart := barChartSVG(r); chart != "" {
+			b.WriteString(chart)
+		}
+	}
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// barChartSVG draws a horizontal bar chart of the first numeric column
+// (labels from the first column), or returns "" when the report has no
+// chartable numeric column or too many rows to be readable.
+func barChartSVG(r *Report) string {
+	if len(r.Columns) < 2 || len(r.Rows) == 0 || len(r.Rows) > 24 {
+		return ""
+	}
+	col := -1
+	vals := make([]float64, len(r.Rows))
+	for c := 1; c < len(r.Columns); c++ {
+		ok := true
+		for i, row := range r.Rows {
+			if c >= len(row) {
+				ok = false
+				break
+			}
+			v, err := parseMetric(row[c])
+			if err != nil {
+				ok = false
+				break
+			}
+			vals[i] = v
+		}
+		if ok {
+			col = c
+			break
+		}
+	}
+	if col == -1 {
+		return ""
+	}
+	maxV := 0.0
+	for _, v := range vals {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV <= 0 {
+		return ""
+	}
+	const barH, gap, labelW, chartW = 16, 6, 220, 420
+	height := len(r.Rows)*(barH+gap) + 24
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" font-size="10">`+"\n", labelW+chartW+70, height)
+	fmt.Fprintf(&b, `<text x="0" y="12" font-weight="bold">%s by %s</text>`+"\n",
+		html.EscapeString(r.Columns[col]), html.EscapeString(r.Columns[0]))
+	for i, row := range r.Rows {
+		y := 20 + i*(barH+gap)
+		label := row[0]
+		if len(r.Columns) > 2 && len(row) > 2 && col > 2 {
+			label = row[0] + " " + row[1] // compound key, e.g. dataset+algo
+		}
+		w := vals[i] / maxV * chartW
+		fmt.Fprintf(&b, `<text x="0" y="%d">%s</text>`+"\n", y+barH-4, html.EscapeString(label))
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.1f" height="%d" fill="#4878a8"/>`+"\n",
+			labelW, y, w, barH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" fill="#333">%s</text>`+"\n",
+			float64(labelW)+w+4, y+barH-4, html.EscapeString(row[col]))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// parseMetric parses the numeric prefix of a formatted metric cell
+// ("1.7x", "12.34s", "3.9MB", "171.17M", "12.5k", "0.9743").
+func parseMetric(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	end := 0
+	for end < len(s) && (s[end] == '.' || s[end] == '-' || (s[end] >= '0' && s[end] <= '9')) {
+		end++
+	}
+	if end == 0 {
+		return 0, fmt.Errorf("no numeric prefix in %q", s)
+	}
+	v, err := strconv.ParseFloat(s[:end], 64)
+	if err != nil {
+		return 0, err
+	}
+	switch strings.TrimSpace(s[end:]) {
+	case "k":
+		v *= 1e3
+	case "M", "MB":
+		v *= 1e6
+	case "G", "GB":
+		v *= 1e9
+	case "", "x", "s":
+	default:
+		return 0, fmt.Errorf("unknown suffix in %q", s)
+	}
+	return v, nil
+}

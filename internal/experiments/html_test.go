@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHTMLReport(t *testing.T) {
+	r1 := &Report{
+		Title:   "Speedups <script>",
+		Columns: []string{"dataset", "speedup"},
+		Rows:    [][]string{{"A", "1.7x"}, {"B", "3.9x"}},
+		Notes:   []string{"a note & more"},
+	}
+	r2 := &Report{
+		Title:   "No chart",
+		Columns: []string{"k", "v"},
+		Rows:    [][]string{{"x", "not-a-number"}},
+	}
+	var buf strings.Builder
+	if err := HTMLReport(&buf, "Eval <run>", []*Report{r1, r2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<!DOCTYPE html>", "Eval &lt;run&gt;", "Speedups &lt;script&gt;",
+		"a note &amp; more", "<svg", "3.9x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("HTML missing %q", want)
+		}
+	}
+	if strings.Contains(out, "<script>") {
+		t.Fatal("title not escaped")
+	}
+	// The non-numeric report must not get a chart.
+	if strings.Count(out, "<svg") != 1 {
+		t.Fatalf("unexpected chart count: %d", strings.Count(out, "<svg"))
+	}
+}
+
+func TestParseMetric(t *testing.T) {
+	cases := map[string]float64{
+		"1.7x": 1.7, "12.34s": 12.34, "3.9MB": 3.9e6, "171.17M": 171.17e6,
+		"12.5k": 12500, "0.9743": 0.9743, "2.00G": 2e9, "-1.5": -1.5,
+	}
+	for in, want := range cases {
+		got, err := parseMetric(in)
+		if err != nil || got != want {
+			t.Fatalf("parseMetric(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1.5q", "12:34"} {
+		if _, err := parseMetric(bad); err == nil {
+			t.Fatalf("parseMetric(%q) should fail", bad)
+		}
+	}
+}

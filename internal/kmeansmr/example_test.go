@@ -1,0 +1,32 @@
+package kmeansmr_test
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/kmeansmr"
+	"repro/internal/mapreduce"
+)
+
+// One distributed K-means run with early stopping.
+func ExampleRun() {
+	ds := dataset.Blobs("km", 300, 2, 3, 400, 2, 5)
+	res, err := kmeansmr.Run(ds, kmeansmr.Config{
+		Engine:  &mapreduce.LocalEngine{Parallelism: 2},
+		K:       3,
+		MaxIter: 50,
+		Tol:     1e-9,
+		Seed:    1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sizes := map[int]int{}
+	for _, l := range res.Labels {
+		sizes[l]++
+	}
+	fmt.Printf("%d clusters over %d points, converged in %d iterations\n",
+		len(res.Centers), ds.N(), len(res.Iterations))
+	// Output:
+	// 3 clusters over 300 points, converged in 3 iterations
+}

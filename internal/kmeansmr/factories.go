@@ -1,0 +1,11 @@
+package kmeansmr
+
+import "repro/internal/mapreduce"
+
+// JobFactories returns registry entries for the K-means jobs, for use with
+// rpcmr.RegisterJobs on distributed workers.
+func JobFactories() map[string]func(mapreduce.Conf) *mapreduce.Job {
+	return map[string]func(mapreduce.Conf) *mapreduce.Job{
+		JobIterate: IterateJob,
+	}
+}

@@ -1,0 +1,165 @@
+package kmeansmr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/evalmetrics"
+	"repro/internal/mapreduce"
+	"repro/internal/points"
+)
+
+func testEngine() mapreduce.Engine { return &mapreduce.LocalEngine{Parallelism: 4} }
+
+func TestRecoversSeparatedClusters(t *testing.T) {
+	ds := dataset.Blobs("kmr", 600, 2, 4, 500, 2, 3)
+	res, err := Run(ds, Config{Engine: testEngine(), K: 4, MaxIter: 30, Tol: 1e-9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := evalmetrics.ARI(ds.Labels, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.99 {
+		t.Fatalf("ARI = %v, want ~1 on separated blobs", ari)
+	}
+	if len(res.Iterations) == 0 || len(res.Iterations) > 30 {
+		t.Fatalf("%d iterations recorded", len(res.Iterations))
+	}
+	if res.Wall <= 0 || res.Distances <= 0 || res.ShuffleBytes <= 0 {
+		t.Fatalf("stats not recorded: %+v", res)
+	}
+}
+
+func TestEarlyStopOnTolerance(t *testing.T) {
+	ds := dataset.Blobs("kmr-tol", 300, 2, 3, 500, 1, 5)
+	res, err := Run(ds, Config{Engine: testEngine(), K: 3, MaxIter: 100, Tol: 1e-6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) >= 100 {
+		t.Fatal("never converged on trivially separated data")
+	}
+	last := res.Iterations[len(res.Iterations)-1]
+	if last.MaxMove > 1e-6 {
+		t.Fatalf("stopped with maxMove %v", last.MaxMove)
+	}
+}
+
+func TestFixedIterationsWithoutTol(t *testing.T) {
+	ds := dataset.Blobs("kmr-fixed", 200, 2, 2, 100, 2, 7)
+	res, err := Run(ds, Config{Engine: testEngine(), K: 2, MaxIter: 7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 7 {
+		t.Fatalf("ran %d iterations, want exactly 7 (paper style)", len(res.Iterations))
+	}
+}
+
+func TestMatchesSequentialLloydFromSameInit(t *testing.T) {
+	// Given identical initial centers, the distributed per-iteration job
+	// must reproduce sequential Lloyd exactly.
+	ds := dataset.Blobs("kmr-lloyd", 400, 3, 3, 200, 5, 11)
+	k := 3
+	centers := initialCenters(ds, k, 42)
+
+	// Sequential Lloyd from the same centers.
+	seq := make([]points.Vector, k)
+	for i := range centers {
+		seq[i] = centers[i].Clone()
+	}
+	for it := 0; it < 5; it++ {
+		sums := make([]points.Vector, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make(points.Vector, ds.Dim())
+		}
+		for _, p := range ds.Points {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range seq {
+				if d := points.SqDist(p.Pos, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			sums[best].Add(p.Pos)
+			counts[best]++
+		}
+		for c := range seq {
+			if counts[c] > 0 {
+				sums[c].Scale(1 / float64(counts[c]))
+				seq[c] = sums[c]
+			}
+		}
+	}
+
+	// Distributed: 5 iterations with the same seed (hence same init).
+	res, err := Run(ds, Config{Engine: testEngine(), K: k, MaxIter: 5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range seq {
+		for j := range seq[c] {
+			if math.Abs(res.Centers[c][j]-seq[c][j]) > 1e-9 {
+				t.Fatalf("center %d dim %d: distributed %v, sequential %v",
+					c, j, res.Centers[c][j], seq[c][j])
+			}
+		}
+	}
+}
+
+func TestCombinerBoundsShuffle(t *testing.T) {
+	// With a combiner, per-iteration shuffle is O(maps × k × dim) records,
+	// independent of N.
+	small := dataset.Blobs("kmr-small", 200, 4, 3, 100, 2, 13)
+	big := dataset.Blobs("kmr-big", 2000, 4, 3, 100, 2, 13)
+	resSmall, err := Run(small, Config{Engine: testEngine(), K: 3, MaxIter: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBig, err := Run(big, Config{Engine: testEngine(), K: 3, MaxIter: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resBig.Iterations[0].ShuffleBytes > resSmall.Iterations[0].ShuffleBytes*3 {
+		t.Fatalf("shuffle grew with N despite combiner: %d vs %d",
+			resBig.Iterations[0].ShuffleBytes, resSmall.Iterations[0].ShuffleBytes)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ds := dataset.Blobs("kmr-bad", 50, 2, 2, 100, 2, 1)
+	if _, err := Run(ds, Config{Engine: testEngine(), K: 0}); err == nil {
+		t.Fatal("want error for k=0")
+	}
+	if _, err := Run(ds, Config{Engine: testEngine(), K: 51}); err == nil {
+		t.Fatal("want error for k>N")
+	}
+}
+
+func TestCentroidCodecRoundTrip(t *testing.T) {
+	cs := []points.Vector{{1, 2, 3}, {-4, 0, 9.5}}
+	conf := mapreduce.Conf{confCentroids: encodeCentroids(cs)}
+	got, err := centroidsFromConf(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1][2] != 9.5 {
+		t.Fatalf("round trip = %v", got)
+	}
+	if _, err := centroidsFromConf(mapreduce.Conf{confCentroids: "!!!"}); err == nil {
+		t.Fatal("want decode error")
+	}
+}
+
+func TestPartialCodec(t *testing.T) {
+	count, sum, err := decodePartial(encodePartial(7, points.Vector{1.5, -2}))
+	if err != nil || count != 7 || sum[0] != 1.5 || sum[1] != -2 {
+		t.Fatalf("partial round trip: %d %v %v", count, sum, err)
+	}
+	if _, _, err := decodePartial([]byte{1, 2}); err == nil {
+		t.Fatal("want short-partial error")
+	}
+}

@@ -1,0 +1,121 @@
+// Package lsh implements p-stable locality-sensitive hashing for Euclidean
+// distance (Datar et al., SoCG 2004), in the form LSH-DDP uses it: groups
+// of π hash functions whose concatenated values form a partition key, and
+// M independent groups ("layouts") that partition the data set M different
+// ways.
+//
+// The package also carries the paper's probability machinery: the collision
+// probability of a single function (Lemma 3), the probability that ALL
+// d_c-neighbours of a point share its slot (Lemma 1, both the exact integral
+// and the paper's closed-form lower bound), the layout-level accuracy of
+// Theorems 1 and 2, and a solver that inverts the accuracy formula (Eq. 5)
+// to find the minimal width w for a requested expected accuracy A.
+package lsh
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/points"
+)
+
+// Func is one p-stable hash function h(p) = ⌊(a·p + b)/w⌋ with a drawn
+// from a standard Gaussian (2-stable) distribution and b uniform in [0, w).
+type Func struct {
+	A points.Vector
+	B float64
+	W float64
+}
+
+// NewFunc draws a hash function for dim-dimensional points from rng.
+func NewFunc(dim int, w float64, rng *points.Rand) Func {
+	if w <= 0 {
+		panic(fmt.Sprintf("lsh: non-positive width %v", w))
+	}
+	a := make(points.Vector, dim)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	return Func{A: a, B: rng.Float64() * w, W: w}
+}
+
+// Hash returns the slot index of p.
+func (f Func) Hash(p points.Vector) int64 {
+	v := (f.A.Dot(p) + f.B) / f.W
+	// Floor, correct for negatives.
+	i := int64(v)
+	if v < 0 && float64(i) != v {
+		i--
+	}
+	return i
+}
+
+// Group is a group G of π hash functions; two points fall in the same
+// partition of this group's layout iff all π hash values agree.
+type Group struct {
+	Funcs []Func
+}
+
+// NewGroup draws a group of pi functions.
+func NewGroup(dim, pi int, w float64, rng *points.Rand) Group {
+	if pi <= 0 {
+		panic(fmt.Sprintf("lsh: non-positive group size %d", pi))
+	}
+	fs := make([]Func, pi)
+	for i := range fs {
+		fs[i] = NewFunc(dim, w, rng)
+	}
+	return Group{Funcs: fs}
+}
+
+// Key returns the partition key G(p) = [h_1(p), …, h_π(p)] in a compact
+// textual form usable as a MapReduce key.
+func (g Group) Key(p points.Vector) string {
+	var b strings.Builder
+	b.Grow(8 * len(g.Funcs))
+	for i, f := range g.Funcs {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.FormatInt(f.Hash(p), 36))
+	}
+	return b.String()
+}
+
+// Layouts is the full LSH configuration of an LSH-DDP run: M groups of π
+// functions of width w. The zero value is unusable; construct with
+// NewLayouts.
+type Layouts struct {
+	Groups []Group
+	W      float64
+	Pi     int
+}
+
+// NewLayouts draws M independent groups. Each group gets a sub-generator
+// seeded from seed so layouts are independent yet reproducible.
+func NewLayouts(dim, m, pi int, w float64, seed int64) *Layouts {
+	if m <= 0 {
+		panic(fmt.Sprintf("lsh: non-positive layout count %d", m))
+	}
+	groups := make([]Group, m)
+	for i := range groups {
+		rng := points.NewRand(seed + int64(i)*7919)
+		groups[i] = NewGroup(dim, pi, w, rng)
+	}
+	return &Layouts{Groups: groups, W: w, Pi: pi}
+}
+
+// M returns the number of layouts.
+func (l *Layouts) M() int { return len(l.Groups) }
+
+// Keys returns p's partition key under every layout, prefixed with the
+// layout index ("m|key") so that different layouts never collide in the
+// grouped shuffle.
+func (l *Layouts) Keys(p points.Vector) []string {
+	keys := make([]string, len(l.Groups))
+	for m, g := range l.Groups {
+		keys[m] = strconv.Itoa(m) + "|" + g.Key(p)
+	}
+	return keys
+}

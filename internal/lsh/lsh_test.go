@@ -1,0 +1,176 @@
+package lsh
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/points"
+)
+
+func TestHashFloorSemantics(t *testing.T) {
+	f := Func{A: points.Vector{1}, B: 0, W: 1}
+	cases := []struct {
+		x    float64
+		want int64
+	}{
+		{0, 0}, {0.5, 0}, {0.999, 0}, {1, 1}, {-0.1, -1}, {-1, -1}, {-1.5, -2}, {7.2, 7},
+	}
+	for _, c := range cases {
+		if got := f.Hash(points.Vector{c.x}); got != c.want {
+			t.Fatalf("Hash(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestHashShiftByWChangesSlotByOne(t *testing.T) {
+	rng := points.NewRand(1)
+	f := NewFunc(3, 4.0, rng)
+	p := points.Vector{1, 2, 3}
+	// Moving along A by exactly W/|A|^2 * A shifts the projection by W.
+	norm2 := f.A.Dot(f.A)
+	q := p.Clone()
+	for i := range q {
+		q[i] += f.W / norm2 * f.A[i]
+	}
+	if got, want := f.Hash(q), f.Hash(p)+1; got != want {
+		t.Fatalf("shifted hash = %d, want %d", got, want)
+	}
+}
+
+func TestGroupKeyFormat(t *testing.T) {
+	rng := points.NewRand(2)
+	g := NewGroup(2, 3, 5.0, rng)
+	key := g.Key(points.Vector{1, 2})
+	if parts := strings.Split(key, "."); len(parts) != 3 {
+		t.Fatalf("key %q should have 3 segments", key)
+	}
+	// Same point, same key; moved point usually different.
+	if g.Key(points.Vector{1, 2}) != key {
+		t.Fatal("key not deterministic")
+	}
+}
+
+func TestLayoutsDeterministicBySeed(t *testing.T) {
+	a := NewLayouts(4, 5, 3, 2.0, 99)
+	b := NewLayouts(4, 5, 3, 2.0, 99)
+	p := points.Vector{0.5, -1, 2, 7}
+	ka, kb := a.Keys(p), b.Keys(p)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("layout %d key differs: %q vs %q", i, ka[i], kb[i])
+		}
+	}
+	c := NewLayouts(4, 5, 3, 2.0, 100)
+	diff := 0
+	for i, k := range c.Keys(p) {
+		if k != ka[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seed produced identical layouts")
+	}
+}
+
+func TestLayoutKeysAreNamespaced(t *testing.T) {
+	l := NewLayouts(2, 3, 1, 1e9, 7)
+	keys := l.Keys(points.Vector{1, 2})
+	seen := map[string]bool{}
+	for m, k := range keys {
+		if !strings.HasPrefix(k, strings.Split(k, "|")[0]+"|") {
+			t.Fatalf("key %q not namespaced", k)
+		}
+		if seen[k] {
+			t.Fatalf("layouts %d collide on key %q", m, k)
+		}
+		seen[k] = true
+	}
+}
+
+// Property: closer points never have a lower single-function collision
+// rate than farther ones, measured over many function draws.
+func TestCollisionMonotoneEmpirical(t *testing.T) {
+	const draws = 4000
+	w := 4.0
+	collide := func(d float64) float64 {
+		rng := points.NewRand(11)
+		p := points.Vector{0, 0}
+		q := points.Vector{d, 0}
+		hits := 0
+		for i := 0; i < draws; i++ {
+			f := NewFunc(2, w, rng)
+			if f.Hash(p) == f.Hash(q) {
+				hits++
+			}
+		}
+		return float64(hits) / draws
+	}
+	near, mid, far := collide(0.5), collide(2), collide(8)
+	if !(near > mid && mid > far) {
+		t.Fatalf("collision rates not monotone: %v %v %v", near, mid, far)
+	}
+}
+
+// Monte Carlo check of Lemma 3's closed form: empirical collision
+// probability of two points at distance d matches CollisionProb(d, w).
+func TestCollisionProbMatchesMonteCarlo(t *testing.T) {
+	const draws = 60_000
+	rng := points.NewRand(5)
+	for _, tc := range []struct{ d, w float64 }{
+		{1, 4}, {2, 4}, {4, 4}, {8, 4}, {1, 1},
+	} {
+		p := points.Vector{0, 0, 0}
+		q := points.Vector{tc.d, 0, 0}
+		hits := 0
+		for i := 0; i < draws; i++ {
+			f := NewFunc(3, tc.w, rng)
+			if f.Hash(p) == f.Hash(q) {
+				hits++
+			}
+		}
+		got := float64(hits) / draws
+		want := CollisionProb(tc.d, tc.w)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("d=%v w=%v: empirical %v vs formula %v", tc.d, tc.w, got, want)
+		}
+	}
+}
+
+func TestNewFuncValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for non-positive width")
+		}
+	}()
+	NewFunc(2, 0, points.NewRand(1))
+}
+
+// Property: group keys respect the AND construction — two points share a
+// group key iff every individual function agrees.
+func TestGroupKeyANDSemantics(t *testing.T) {
+	rng := points.NewRand(9)
+	g := NewGroup(3, 4, 3.0, rng)
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0
+			}
+			return math.Mod(x, 100)
+		}
+		p := points.Vector{clamp(ax), clamp(ay), clamp(az)}
+		q := points.Vector{clamp(bx), clamp(by), clamp(bz)}
+		allAgree := true
+		for _, h := range g.Funcs {
+			if h.Hash(p) != h.Hash(q) {
+				allAgree = false
+				break
+			}
+		}
+		return (g.Key(p) == g.Key(q)) == allAgree
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package lsh
+
+import (
+	"fmt"
+	"math"
+)
+
+// Probability formulas from the paper. Notation:
+//
+//	w    — hash width
+//	d_c  — cutoff distance (ρ's neighbourhood radius)
+//	π    — functions per group
+//	M    — number of layouts
+//
+// All functions treat degenerate inputs (zero distance) as certain
+// collision.
+
+// stdNormCDF is Φ, the N(0,1) cumulative distribution function.
+func stdNormCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// CollisionProb is p(d, w) = Pr[h(p_i)=h(p_j)] for two points at distance d
+// under one p-stable hash of width w (Datar et al.; the paper's Lemma 3):
+//
+//	p(d,w) = 2Φ(w/d) − 1 − (2d/(√(2π) w))·(1 − e^{−w²/(2d²)})
+//
+// It is monotonically decreasing in d and increasing in w.
+func CollisionProb(d, w float64) float64 {
+	if d <= 0 {
+		return 1
+	}
+	r := w / d
+	return 2*stdNormCDF(r) - 1 - 2/(math.Sqrt(2*math.Pi)*r)*(1-math.Exp(-r*r/2))
+}
+
+// AllNeighborsProbLB is the paper's Lemma 1 lower bound on
+// Pr[all d_c-neighbours of a point share its slot]:
+//
+//	P_ρ(w, d_c) ≥ 1 − 4 d_c / (√(2π) w)
+//
+// clamped to [0, 1]. It underestimates the exact probability (the integrand
+// 1 − 2 d_c x / w goes negative for large x instead of clamping at zero).
+func AllNeighborsProbLB(dc, w float64) float64 {
+	if dc <= 0 {
+		return 1
+	}
+	p := 1 - 4*dc/(math.Sqrt(2*math.Pi)*w)
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// AllNeighborsProbExact evaluates the same probability with the integrand
+// clamped at zero, which yields a closed form identical in shape to
+// CollisionProb with d → 2 d_c:
+//
+//	∫₀^{w/(2d_c)} (1 − 2 d_c x/w) f(x) dx  =  p(2 d_c, w)
+//
+// where f is the half-normal density. The identity is property-tested
+// against numeric integration.
+func AllNeighborsProbExact(dc, w float64) float64 {
+	return CollisionProb(2*dc, w)
+}
+
+// LayoutAccuracy is Theorem 1: with M layouts of π functions each,
+//
+//	Pr[ρ̂_i = ρ_i] ≥ 1 − (1 − P^π)^M
+//
+// where P is the per-function all-neighbours probability.
+func LayoutAccuracy(perFunc float64, pi, m int) float64 {
+	if perFunc < 0 || perFunc > 1 {
+		panic(fmt.Sprintf("lsh: probability %v out of [0,1]", perFunc))
+	}
+	return 1 - math.Pow(1-math.Pow(perFunc, float64(pi)), float64(m))
+}
+
+// DeltaAccuracy is Theorem 2: the probability that δ̂_i = δ_i for a point
+// whose true upslope point sits at distance dUp, with M layouts of π
+// functions of width w (assuming ρ̂ = ρ):
+//
+//	1 − (1 − p(d_u, w)^π)^M
+func DeltaAccuracy(dUp, w float64, pi, m int) float64 {
+	return LayoutAccuracy(CollisionProb(dUp, w), pi, m)
+}
+
+// ExpectedAccuracy is Eq. 5, the accuracy objective the solver inverts:
+// A(w, π, M) = 1 − (1 − P_ρ(w,d_c)^π)^M using the paper's lower bound.
+func ExpectedAccuracy(w, dc float64, pi, m int) float64 {
+	return LayoutAccuracy(AllNeighborsProbLB(dc, w), pi, m)
+}
+
+// SolveWidth finds the minimal width w such that ExpectedAccuracy(w, dc,
+// pi, m) ≥ accuracy, by bisection (the accuracy is monotone increasing in
+// w). accuracy must be in (0, 1); dc must be positive.
+func SolveWidth(accuracy, dc float64, pi, m int) (float64, error) {
+	if accuracy <= 0 || accuracy >= 1 {
+		return 0, fmt.Errorf("lsh: accuracy %v out of (0,1)", accuracy)
+	}
+	if dc <= 0 {
+		return 0, fmt.Errorf("lsh: non-positive d_c %v", dc)
+	}
+	if pi <= 0 || m <= 0 {
+		return 0, fmt.Errorf("lsh: non-positive pi=%d or m=%d", pi, m)
+	}
+	lo, hi := dc, dc*2
+	for ExpectedAccuracy(hi, dc, pi, m) < accuracy {
+		hi *= 2
+		if hi > dc*1e12 {
+			return 0, fmt.Errorf("lsh: no width satisfies accuracy %v with pi=%d m=%d", accuracy, pi, m)
+		}
+	}
+	for i := 0; i < 200 && (hi-lo)/hi > 1e-12; i++ {
+		mid := (lo + hi) / 2
+		if ExpectedAccuracy(mid, dc, pi, m) >= accuracy {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// RequiredPerFuncProb inverts Theorem 1 for P: the per-function
+// all-neighbours probability needed so that M layouts of π functions reach
+// the target accuracy.
+func RequiredPerFuncProb(accuracy float64, pi, m int) float64 {
+	if accuracy <= 0 {
+		return 0
+	}
+	if accuracy >= 1 {
+		return 1
+	}
+	perLayout := 1 - math.Pow(1-accuracy, 1/float64(m))
+	return math.Pow(perLayout, 1/float64(pi))
+}

@@ -1,0 +1,69 @@
+package mapreduce
+
+import (
+	"fmt"
+	"time"
+)
+
+// Driver chains MapReduce jobs: each stage's output pairs become the next
+// stage's input, the way a Hadoop driver program strings jobs together on
+// the master node. It accumulates per-job and total statistics, which the
+// experiment harness reads to report the paper's runtime / shuffle-bytes /
+// distance-count metrics.
+type Driver struct {
+	Engine Engine
+	// Log, when non-nil, receives one line per completed job.
+	Log func(format string, args ...interface{})
+
+	jobs  []JobStats
+	total Counters
+}
+
+// JobStats records one executed job.
+type JobStats struct {
+	Name     string
+	Wall     time.Duration
+	Counters map[string]int64
+	Records  int // output records
+}
+
+// NewDriver returns a driver bound to an engine.
+func NewDriver(engine Engine) *Driver {
+	return &Driver{Engine: engine, total: *NewCounters()}
+}
+
+// Run executes one job, records its stats, and returns its output.
+func (d *Driver) Run(job *Job, input []Pair) ([]Pair, error) {
+	res, err := d.Engine.Run(job, input)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	}
+	d.jobs = append(d.jobs, JobStats{
+		Name:     job.Name,
+		Wall:     res.Wall,
+		Counters: res.Counters.Snapshot(),
+		Records:  len(res.Output),
+	})
+	d.total.Merge(res.Counters)
+	if d.Log != nil {
+		d.Log("job %-24s %8.3fs  out=%d shuffleB=%d dist=%d",
+			job.Name, res.Wall.Seconds(), len(res.Output),
+			res.Counters.Get(CtrShuffleBytes), res.Counters.Get(CtrDistanceComputations))
+	}
+	return res.Output, nil
+}
+
+// Jobs returns stats for every executed job, in execution order.
+func (d *Driver) Jobs() []JobStats { return d.jobs }
+
+// TotalCounter returns the sum of the named counter over all executed jobs.
+func (d *Driver) TotalCounter(name string) int64 { return d.total.Get(name) }
+
+// TotalWall returns the summed wall time of all executed jobs.
+func (d *Driver) TotalWall() time.Duration {
+	var t time.Duration
+	for _, j := range d.jobs {
+		t += j.Wall
+	}
+	return t
+}

@@ -1,0 +1,377 @@
+package mapreduce
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Result is the outcome of one job execution.
+type Result struct {
+	Output   []Pair
+	Counters *Counters
+	Wall     time.Duration
+}
+
+// Engine executes MapReduce jobs. Implementations: LocalEngine (in-process,
+// multicore) and rpcmr.Cluster (distributed over net/rpc).
+type Engine interface {
+	Run(job *Job, input []Pair) (*Result, error)
+}
+
+// LocalEngine runs jobs in-process with worker goroutines. It is the
+// default substrate for experiments: it exercises the full dataflow
+// (split, map, combine, partition, sort/group, reduce) with honest byte
+// accounting, just without network transport.
+type LocalEngine struct {
+	// Parallelism bounds concurrent map and reduce tasks.
+	// <=0 means runtime.NumCPU().
+	Parallelism int
+	// SpillThresholdBytes triggers map-side spills to sorted run files once
+	// a task buffers this many intermediate bytes. 0 disables spilling.
+	SpillThresholdBytes int64
+	// TempDir hosts spill files; "" means os.TempDir().
+	TempDir string
+}
+
+func (e *LocalEngine) parallelism() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// mapTaskOutput holds one map task's intermediate data: per-partition
+// in-memory buffers (combined and sorted once the task finishes) plus
+// per-partition sorted spill-run files.
+type mapTaskOutput struct {
+	mem  [][]Pair   // [partition] sorted pairs
+	runs [][]string // [partition] run file paths
+}
+
+// taskEmitter buffers map output per partition and spills when over
+// threshold. Not safe for concurrent use; each map task owns one.
+type taskEmitter struct {
+	spillThreshold int64 // 0 = never spill
+	job            *Job
+	ctx            *TaskContext
+	part           PartitionFunc
+	nReduce        int
+	buf            [][]Pair
+	buffered       int64
+	runs           [][]string
+	spillDir       string
+	spillSeq       int
+	err            error
+
+	outRecords int64
+}
+
+func (t *taskEmitter) Emit(key string, value []byte) {
+	if t.err != nil {
+		return
+	}
+	p := t.part(key, t.nReduce)
+	t.buf[p] = append(t.buf[p], Pair{Key: key, Value: value})
+	t.buffered += pairBytes(Pair{Key: key, Value: value})
+	t.outRecords++
+	if t.spillThreshold > 0 && t.buffered >= t.spillThreshold {
+		t.err = t.spill()
+	}
+}
+
+// spill combines (if configured), sorts, and writes every non-empty
+// partition buffer as a run file, then resets the buffers.
+func (t *taskEmitter) spill() error {
+	for p := range t.buf {
+		if len(t.buf[p]) == 0 {
+			continue
+		}
+		ps, err := t.finishPartition(p)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(t.spillDir, fmt.Sprintf("spill-%s-m%d-p%d-%d.run", sanitize(t.job.Name), t.ctx.TaskID, p, t.spillSeq))
+		t.spillSeq++
+		n, err := writeRun(path, ps)
+		if err != nil {
+			return fmt.Errorf("mapreduce: spill: %w", err)
+		}
+		t.ctx.Counters.Add(CtrSpilledRuns, 1)
+		t.ctx.Counters.Add(CtrSpilledBytes, n)
+		t.countShuffle(ps)
+		t.runs[p] = append(t.runs[p], path)
+		t.buf[p] = nil
+	}
+	t.buffered = 0
+	return nil
+}
+
+// finishPartition sorts (and combines) one partition buffer, returning the
+// shuffle-ready pairs. The buffer is left untouched; callers reset it.
+func (t *taskEmitter) finishPartition(p int) ([]Pair, error) {
+	ps := t.buf[p]
+	if t.job.Combine == nil {
+		sortPairs(ps)
+		return ps, nil
+	}
+	combined, in, err := runCombiner(t.ctx, t.job.Combine, ps)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: combiner in %q: %w", t.job.Name, err)
+	}
+	t.ctx.Counters.Add(CtrCombineInputRecords, int64(in))
+	sortPairs(combined)
+	return combined, nil
+}
+
+func (t *taskEmitter) countShuffle(ps []Pair) {
+	var bytes int64
+	for _, p := range ps {
+		bytes += pairBytes(p)
+	}
+	t.ctx.Counters.Add(CtrShuffleBytes, bytes)
+	t.ctx.Counters.Add(CtrShuffleRecords, int64(len(ps)))
+}
+
+// close finalizes remaining buffers into sorted in-memory partitions.
+func (t *taskEmitter) close() (*mapTaskOutput, error) {
+	if t.err != nil {
+		return nil, t.err
+	}
+	out := &mapTaskOutput{mem: make([][]Pair, t.nReduce), runs: t.runs}
+	for p := range t.buf {
+		if len(t.buf[p]) == 0 {
+			continue
+		}
+		ps, err := t.finishPartition(p)
+		if err != nil {
+			return nil, err
+		}
+		t.countShuffle(ps)
+		out.mem[p] = ps
+		t.buf[p] = nil
+	}
+	return out, nil
+}
+
+// Run executes the job on input and returns its output pairs and counters.
+// Output order is deterministic: reduce partitions in index order, keys in
+// sorted order within each partition.
+func (e *LocalEngine) Run(job *Job, input []Pair) (*Result, error) {
+	start := time.Now()
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	workers := e.parallelism()
+	nMaps := job.NumMaps
+	if nMaps <= 0 {
+		nMaps = workers
+	}
+	if nMaps > len(input) {
+		nMaps = max(1, len(input))
+	}
+	nReduce := job.NumReduces
+	if nReduce <= 0 {
+		nReduce = workers
+	}
+
+	counters := NewCounters()
+	spillDir := ""
+	if e.SpillThresholdBytes > 0 {
+		dir, err := os.MkdirTemp(e.TempDir, "mr-"+sanitize(job.Name)+"-")
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: temp dir: %w", err)
+		}
+		spillDir = dir
+		defer os.RemoveAll(dir)
+	}
+
+	// ---- Map phase ----
+	splits := splitInput(input, nMaps)
+	taskOuts := make([]*mapTaskOutput, len(splits))
+	err := runParallel(len(splits), workers, func(ti int) error {
+		ctx := &TaskContext{
+			JobName:    job.Name,
+			TaskID:     ti,
+			NumReduces: nReduce,
+			Conf:       job.Conf,
+			Counters:   counters,
+		}
+		em := &taskEmitter{
+			spillThreshold: e.SpillThresholdBytes,
+			job:            job,
+			ctx:            ctx,
+			part:           job.partitioner(),
+			nReduce:        nReduce,
+			buf:            make([][]Pair, nReduce),
+			runs:           make([][]string, nReduce),
+			spillDir:       spillDir,
+		}
+		for _, rec := range splits[ti] {
+			if err := job.Map(ctx, rec.Key, rec.Value, em); err != nil {
+				return fmt.Errorf("mapreduce: map task %d of %q: %w", ti, job.Name, err)
+			}
+			if em.err != nil {
+				return em.err
+			}
+		}
+		counters.Add(CtrMapInputRecords, int64(len(splits[ti])))
+		counters.Add(CtrMapOutputRecords, em.outRecords)
+		out, err := em.close()
+		if err != nil {
+			return err
+		}
+		taskOuts[ti] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Map-only job: concatenate map outputs in task order.
+	if job.Reduce == nil {
+		var output []Pair
+		for _, to := range taskOuts {
+			for _, ps := range to.mem {
+				output = append(output, ps...)
+			}
+		}
+		return &Result{Output: output, Counters: counters, Wall: time.Since(start)}, nil
+	}
+
+	// ---- Reduce phase ----
+	reduceOuts := make([][]Pair, nReduce)
+	err = runParallel(nReduce, workers, func(r int) error {
+		ctx := &TaskContext{
+			JobName:    job.Name,
+			TaskID:     r,
+			NumReduces: nReduce,
+			Conf:       job.Conf,
+			Counters:   counters,
+		}
+		var its []pairIterator
+		for _, to := range taskOuts {
+			if len(to.mem[r]) > 0 {
+				its = append(its, &sliceIterator{ps: to.mem[r]})
+			}
+			for _, path := range to.runs[r] {
+				ri, err := openRun(path)
+				if err != nil {
+					return err
+				}
+				its = append(its, ri)
+			}
+		}
+		var out []Pair
+		sink := EmitterFunc(func(key string, value []byte) {
+			out = append(out, Pair{Key: key, Value: value})
+		})
+		var groups, records int64
+		err := mergeGroups(its, func(key string, values [][]byte) error {
+			groups++
+			records += int64(len(values))
+			return job.Reduce(ctx, key, values, sink)
+		})
+		if err != nil {
+			return fmt.Errorf("mapreduce: reduce task %d of %q: %w", r, job.Name, err)
+		}
+		counters.Add(CtrReduceInputGroups, groups)
+		counters.Add(CtrReduceInputRecords, records)
+		counters.Add(CtrReduceOutputRecords, int64(len(out)))
+		reduceOuts[r] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var output []Pair
+	for _, ps := range reduceOuts {
+		output = append(output, ps...)
+	}
+	return &Result{Output: output, Counters: counters, Wall: time.Since(start)}, nil
+}
+
+// splitInput partitions input records into n contiguous splits of
+// near-equal size. Fewer than n splits are returned when input is shorter.
+func splitInput(input []Pair, n int) [][]Pair {
+	if len(input) == 0 {
+		return [][]Pair{nil}
+	}
+	if n > len(input) {
+		n = len(input)
+	}
+	splits := make([][]Pair, 0, n)
+	base, rem := len(input)/n, len(input)%n
+	off := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		splits = append(splits, input[off:off+size])
+		off += size
+	}
+	return splits
+}
+
+// runParallel runs fn(0..n-1) with at most workers concurrent invocations
+// and returns the first error.
+func runParallel(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// sanitize makes a job name safe for file names.
+func sanitize(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

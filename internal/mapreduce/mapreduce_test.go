@@ -1,0 +1,205 @@
+package mapreduce
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestConfTypedAccessors(t *testing.T) {
+	c := Conf{}
+	c.SetInt("i", 42)
+	c.SetFloat("f", 2.5)
+	c.SetInt64("l", 1<<40)
+	c.SetBool("b", true)
+	if c.GetInt("i", 0) != 42 || c.GetFloat("f", 0) != 2.5 ||
+		c.GetInt64("l", 0) != 1<<40 || !c.GetBool("b", false) {
+		t.Fatalf("accessors: %v", c)
+	}
+	// Defaults for missing keys.
+	if c.GetInt("missing", 7) != 7 || c.GetFloat("missing", 1.5) != 1.5 ||
+		c.GetInt64("missing", 9) != 9 || c.GetBool("missing", true) != true {
+		t.Fatal("defaults not honored")
+	}
+	// Full float precision survives.
+	c.SetFloat("pi", 3.141592653589793)
+	if c.GetFloat("pi", 0) != 3.141592653589793 {
+		t.Fatal("float precision lost")
+	}
+}
+
+func TestConfClone(t *testing.T) {
+	c := Conf{"a": "1"}
+	d := c.Clone()
+	d["a"] = "2"
+	if c["a"] != "1" {
+		t.Fatal("Clone aliased the map")
+	}
+	var nilConf Conf
+	if got := nilConf.Clone(); got == nil || len(got) != 0 {
+		t.Fatalf("nil Clone = %v", got)
+	}
+}
+
+func TestConfPanicsOnMalformed(t *testing.T) {
+	c := Conf{"x": "not-a-number"}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on malformed int")
+		}
+	}()
+	c.GetInt("x", 0)
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cell := c.C("hot")
+			for i := 0; i < 1000; i++ {
+				AtomicAddTest(cell, 1)
+				c.Add("cold", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("hot"); got != 8000 {
+		t.Fatalf("hot = %d", got)
+	}
+	if got := c.Get("cold"); got != 8000 {
+		t.Fatalf("cold = %d", got)
+	}
+}
+
+func TestCountersMergeAndSnapshot(t *testing.T) {
+	a, b := NewCounters(), NewCounters()
+	a.Add("x", 1)
+	b.Add("x", 2)
+	b.Add("y", 3)
+	a.Merge(b)
+	snap := a.Snapshot()
+	if snap["x"] != 3 || snap["y"] != 3 {
+		t.Fatalf("merge = %v", snap)
+	}
+	if got := a.Get("zero"); got != 0 {
+		t.Fatalf("missing counter = %d", got)
+	}
+	s := a.String()
+	if !strings.Contains(s, "x") || !strings.Contains(s, "3") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestDriverPipelines(t *testing.T) {
+	eng := &LocalEngine{Parallelism: 2}
+	drv := NewDriver(eng)
+	out1, err := drv.Run(wordcount(), lines("a a b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second job consumes the first job's output.
+	doubler := &Job{
+		Name: "double",
+		Map: func(_ *TaskContext, key string, value []byte, out Emitter) error {
+			out.Emit(key, value)
+			out.Emit(key, value)
+			return nil
+		},
+		Reduce: sumReduce,
+	}
+	out2, err := drv.Run(doubler, out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outputMap(out2)["a"]; got != "4" {
+		t.Fatalf("pipelined count = %q", got)
+	}
+	if len(drv.Jobs()) != 2 {
+		t.Fatalf("driver recorded %d jobs", len(drv.Jobs()))
+	}
+	if drv.TotalWall() <= 0 {
+		t.Fatal("no wall time recorded")
+	}
+	if drv.TotalCounter(CtrMapInputRecords) != 3 {
+		t.Fatalf("total map input = %d", drv.TotalCounter(CtrMapInputRecords))
+	}
+}
+
+func TestDriverPropagatesError(t *testing.T) {
+	drv := NewDriver(&LocalEngine{})
+	_, err := drv.Run(&Job{Name: "bad"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("want named job error, got %v", err)
+	}
+}
+
+func TestExecuteTaskParityWithEngine(t *testing.T) {
+	// The exported task-level functions (used by the distributed engine)
+	// must produce the same result as the local engine.
+	input := lines("p q p", "r p q", "q q")
+	nReduce := 3
+
+	engineRes, err := (&LocalEngine{Parallelism: 2}).Run(wordcount(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counters := NewCounters()
+	splits := splitInput(input, 2)
+	perTask := make([][][]Pair, len(splits))
+	for ti, split := range splits {
+		parts, err := ExecuteMapTask(wordcount(), ti, nReduce, split, counters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perTask[ti] = parts
+	}
+	var manual []Pair
+	for r := 0; r < nReduce; r++ {
+		var sorted [][]Pair
+		for _, parts := range perTask {
+			sorted = append(sorted, parts[r])
+		}
+		out, err := ExecuteReduceTask(wordcount(), r, nReduce, sorted, counters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		manual = append(manual, out...)
+	}
+	if !samePairs(engineRes.Output, manual) {
+		t.Fatalf("task-level result %v differs from engine %v", manual, engineRes.Output)
+	}
+	if counters.Get(CtrShuffleBytes) != engineRes.Counters.Get(CtrShuffleBytes) {
+		t.Fatalf("shuffle bytes differ: %d vs %d",
+			counters.Get(CtrShuffleBytes), engineRes.Counters.Get(CtrShuffleBytes))
+	}
+}
+
+func TestExecuteMapTaskValidation(t *testing.T) {
+	if _, err := ExecuteMapTask(wordcount(), 0, 0, nil, NewCounters()); err == nil {
+		t.Fatal("want error for zero reduce partitions")
+	}
+	if _, err := ExecuteMapTask(&Job{Name: "x"}, 0, 1, nil, NewCounters()); err == nil {
+		t.Fatal("want error for invalid job")
+	}
+}
+
+func TestExecuteReduceTaskMapOnly(t *testing.T) {
+	job := &Job{
+		Name: "identity",
+		Map: func(_ *TaskContext, key string, value []byte, out Emitter) error {
+			out.Emit(key, value)
+			return nil
+		},
+	}
+	out, err := ExecuteReduceTask(job, 0, 1, [][]Pair{{{Key: "k", Value: []byte("v")}}}, NewCounters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Key != "k" {
+		t.Fatalf("map-only reduce = %v", out)
+	}
+}

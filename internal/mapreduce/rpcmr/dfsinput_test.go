@@ -1,0 +1,104 @@
+package rpcmr
+
+import (
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/dfsio"
+	"repro/internal/mapreduce"
+)
+
+func startDFS(t *testing.T, nodes int) (*dfs.NameNode, *dfs.Client) {
+	t.Helper()
+	nn, err := dfs.NewNameNode("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nn.Close() })
+	for i := 0; i < nodes; i++ {
+		dn, err := dfs.StartDataNode(nn.Addr(), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { dn.Close() })
+	}
+	c, err := dfs.NewClient(nn.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return nn, c
+}
+
+func TestRunDFSMatchesInlineInput(t *testing.T) {
+	m, _ := startCluster(t, 3)
+	nn, fsc := startDFS(t, 2)
+
+	input := make([]mapreduce.Pair, 0, 120)
+	for i := 0; i < 120; i++ {
+		input = append(input, mapreduce.Pair{Value: []byte("alpha beta gamma alpha")})
+	}
+	if err := dfsio.SavePairs(fsc, "jobs/in", input, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	inline, err := m.Run(wordcountJob(nil), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := m.RunDFS(wordcountJob(nil), nn.Addr(), "jobs/in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	toMap := func(ps []mapreduce.Pair) map[string]string {
+		out := map[string]string{}
+		for _, p := range ps {
+			out[p.Key] = string(p.Value)
+		}
+		return out
+	}
+	a, b := toMap(inline.Output), toMap(staged.Output)
+	if len(a) != len(b) {
+		t.Fatalf("inline %d keys, staged %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("key %q: inline %q, staged %q", k, v, b[k])
+		}
+	}
+	if got := staged.Counters.Get(mapreduce.CtrMapInputRecords); got != 120 {
+		t.Fatalf("staged map input records = %d", got)
+	}
+}
+
+func TestRunDFSMapTaskPerPart(t *testing.T) {
+	m, _ := startCluster(t, 2)
+	nn, fsc := startDFS(t, 2)
+	input := make([]mapreduce.Pair, 40)
+	for i := range input {
+		input[i] = mapreduce.Pair{Value: []byte("w")}
+	}
+	if err := dfsio.SavePairs(fsc, "parts/in", input, 7); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunDFS(wordcountJob(nil), nn.Addr(), "parts/in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One map task per part: the map-input counter counts records, but the
+	// number of splits shows up as the per-part word totals summing to 40.
+	if got := res.Counters.Get(mapreduce.CtrMapInputRecords); got != 40 {
+		t.Fatalf("map input = %d", got)
+	}
+	if len(res.Output) != 1 || string(res.Output[0].Value) != "40" {
+		t.Fatalf("output = %v", res.Output)
+	}
+}
+
+func TestRunDFSMissingPrefix(t *testing.T) {
+	m, _ := startCluster(t, 1)
+	nn, _ := startDFS(t, 1)
+	if _, err := m.RunDFS(wordcountJob(nil), nn.Addr(), "no/such/input"); err == nil {
+		t.Fatal("want error for missing DFS input")
+	}
+}

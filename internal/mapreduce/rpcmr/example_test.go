@@ -1,0 +1,67 @@
+package rpcmr_test
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/mapreduce"
+	"repro/internal/mapreduce/rpcmr"
+)
+
+func init() {
+	rpcmr.RegisterJobs(map[string]rpcmr.JobFactory{"example-wordcount": exampleWordcount})
+}
+
+func exampleWordcount(conf mapreduce.Conf) *mapreduce.Job {
+	sum := func(_ *mapreduce.TaskContext, key string, values [][]byte, out mapreduce.Emitter) error {
+		total := 0
+		for _, v := range values {
+			n, _ := strconv.Atoi(string(v))
+			total += n
+		}
+		out.Emit(key, []byte(strconv.Itoa(total)))
+		return nil
+	}
+	return &mapreduce.Job{
+		Name: "example-wordcount",
+		Map: func(_ *mapreduce.TaskContext, _ string, value []byte, out mapreduce.Emitter) error {
+			for _, w := range strings.Fields(string(value)) {
+				out.Emit(w, []byte("1"))
+			}
+			return nil
+		},
+		Combine: sum,
+		Reduce:  sum,
+	}
+}
+
+// A complete distributed session: master, two TCP workers, one job.
+func Example() {
+	master, err := rpcmr.NewMaster("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer master.Close()
+	for i := 0; i < 2; i++ {
+		w, err := rpcmr.StartWorker(master.Addr(), "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		defer w.Close()
+	}
+
+	res, err := master.Run(exampleWordcount(nil), []mapreduce.Pair{
+		{Value: []byte("go distributed go")},
+	})
+	if err != nil {
+		panic(err)
+	}
+	counts := map[string]string{}
+	for _, p := range res.Output {
+		counts[p.Key] = string(p.Value)
+	}
+	fmt.Printf("go=%s distributed=%s\n", counts["go"], counts["distributed"])
+	// Output:
+	// go=2 distributed=1
+}

@@ -1,0 +1,337 @@
+package rpcmr
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/dfsio"
+	"repro/internal/mapreduce"
+)
+
+// Worker executes tasks for one master. It serves a small RPC surface of
+// its own (shuffle fetches and cleanup) and polls the master for work.
+type Worker struct {
+	// PollInterval is the idle polling period (default 20ms).
+	PollInterval time.Duration
+	// Log, when non-nil, receives task events.
+	Log func(format string, args ...interface{})
+
+	id     int
+	addr   string
+	lis    net.Listener
+	master *rpc.Client
+
+	mu    sync.Mutex
+	store map[storeKey][][]mapreduce.Pair // partitioned map outputs
+
+	peersMu sync.Mutex
+	peers   map[string]*rpc.Client
+
+	dfsMu      sync.Mutex
+	dfsClients map[string]*dfs.Client
+
+	quit chan struct{}
+	done chan struct{}
+}
+
+type storeKey struct {
+	jobID, mapTask int
+}
+
+// StartWorker launches a worker: it listens on listenAddr (":0" for any
+// port), registers with the master, and begins polling in a goroutine.
+// Close stops it.
+func StartWorker(masterAddr, listenAddr string) (*Worker, error) {
+	lis, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcmr: worker listen: %w", err)
+	}
+	w := &Worker{
+		PollInterval: 20 * time.Millisecond,
+		addr:         lis.Addr().String(),
+		lis:          lis,
+		store:        make(map[storeKey][][]mapreduce.Pair),
+		peers:        make(map[string]*rpc.Client),
+		dfsClients:   make(map[string]*dfs.Client),
+		quit:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", &workerRPC{w: w}); err != nil {
+		lis.Close()
+		return nil, err
+	}
+	go acceptLoop(lis, srv)
+
+	conn, err := net.DialTimeout("tcp", masterAddr, 5*time.Second)
+	if err != nil {
+		lis.Close()
+		return nil, fmt.Errorf("rpcmr: dial master: %w", err)
+	}
+	w.master = rpc.NewClient(conn)
+	var reply RegisterReply
+	if err := w.master.Call("Master.Register", &RegisterArgs{Addr: w.addr}, &reply); err != nil {
+		w.master.Close()
+		lis.Close()
+		return nil, fmt.Errorf("rpcmr: register: %w", err)
+	}
+	w.id = reply.WorkerID
+	go w.loop()
+	return w, nil
+}
+
+// Addr returns the worker's RPC address.
+func (w *Worker) Addr() string { return w.addr }
+
+// ID returns the master-assigned worker id.
+func (w *Worker) ID() int { return w.id }
+
+// Close stops the polling loop and releases sockets. Pending shuffle data
+// is discarded, which the master treats as a worker failure and recovers
+// from by re-executing the affected map tasks.
+func (w *Worker) Close() error {
+	close(w.quit)
+	<-w.done
+	w.master.Close()
+	err := w.lis.Close()
+	w.peersMu.Lock()
+	for _, c := range w.peers {
+		c.Close()
+	}
+	w.peers = map[string]*rpc.Client{}
+	w.peersMu.Unlock()
+	w.dfsMu.Lock()
+	for _, c := range w.dfsClients {
+		c.Close()
+	}
+	w.dfsClients = map[string]*dfs.Client{}
+	w.dfsMu.Unlock()
+	return err
+}
+
+// dfsClient returns a cached DFS client for the namenode.
+func (w *Worker) dfsClient(nameNode string) (*dfs.Client, error) {
+	w.dfsMu.Lock()
+	defer w.dfsMu.Unlock()
+	if c, ok := w.dfsClients[nameNode]; ok {
+		return c, nil
+	}
+	c, err := dfs.NewClient(nameNode)
+	if err != nil {
+		return nil, err
+	}
+	w.dfsClients[nameNode] = c
+	return c, nil
+}
+
+func (w *Worker) logf(format string, args ...interface{}) {
+	if w.Log != nil {
+		w.Log(format, args...)
+	}
+}
+
+func (w *Worker) loop() {
+	defer close(w.done)
+	for {
+		select {
+		case <-w.quit:
+			return
+		default:
+		}
+		var task GetTaskReply
+		if err := w.master.Call("Master.GetTask", &GetTaskArgs{WorkerID: w.id}, &task); err != nil {
+			// Master gone; retry briefly in case of transient error.
+			select {
+			case <-w.quit:
+				return
+			case <-time.After(w.PollInterval * 10):
+			}
+			continue
+		}
+		switch task.Kind {
+		case TaskShutdown:
+			return
+		case TaskWait:
+			select {
+			case <-w.quit:
+				return
+			case <-time.After(w.PollInterval):
+			}
+		case TaskMap:
+			w.runMap(&task)
+		case TaskReduce:
+			w.runReduce(&task)
+		}
+	}
+}
+
+// report sends a completion (or failure) to the master, best-effort.
+func (w *Worker) report(args *CompleteArgs) {
+	var reply CompleteReply
+	if err := w.master.Call("Master.CompleteTask", args, &reply); err != nil {
+		w.logf("worker %d: report failed: %v", w.id, err)
+	}
+}
+
+func (w *Worker) runMap(task *GetTaskReply) {
+	args := &CompleteArgs{WorkerID: w.id, JobID: task.JobID, Kind: TaskMap, TaskID: task.TaskID}
+	factory, err := lookupJob(task.JobName)
+	if err != nil {
+		args.Err = err.Error()
+		w.report(args)
+		return
+	}
+	job := factory(task.Conf)
+	records := task.Split
+	if task.DFSPart != "" {
+		fsc, err := w.dfsClient(task.DFSNameNode)
+		if err != nil {
+			args.Err = err.Error()
+			w.report(args)
+			return
+		}
+		records, err = dfsio.LoadPart(fsc, task.DFSPart)
+		if err != nil {
+			args.Err = err.Error()
+			w.report(args)
+			return
+		}
+	}
+	counters := mapreduce.NewCounters()
+	parts, err := mapreduce.ExecuteMapTask(job, task.TaskID, task.NumReduces, records, counters)
+	if err != nil {
+		args.Err = err.Error()
+		w.report(args)
+		return
+	}
+	w.mu.Lock()
+	w.store[storeKey{jobID: task.JobID, mapTask: task.TaskID}] = parts
+	w.mu.Unlock()
+	args.Counters = counters.Snapshot()
+	w.logf("worker %d: map %d of job %d done", w.id, task.TaskID, task.JobID)
+	w.report(args)
+}
+
+func (w *Worker) runReduce(task *GetTaskReply) {
+	args := &CompleteArgs{WorkerID: w.id, JobID: task.JobID, Kind: TaskReduce, TaskID: task.TaskID}
+	factory, err := lookupJob(task.JobName)
+	if err != nil {
+		args.Err = err.Error()
+		w.report(args)
+		return
+	}
+	job := factory(task.Conf)
+	sorted := make([][]mapreduce.Pair, 0, len(task.Maps))
+	var failed []int
+	for _, loc := range task.Maps {
+		pairs, err := w.fetch(loc.WorkerAddr, task.JobID, loc.MapTaskID, task.TaskID)
+		if err != nil {
+			failed = append(failed, loc.MapTaskID)
+			continue
+		}
+		sorted = append(sorted, pairs)
+	}
+	if len(failed) > 0 {
+		args.Err = fmt.Sprintf("fetch failed for %d map outputs", len(failed))
+		args.FailedMaps = failed
+		w.report(args)
+		return
+	}
+	counters := mapreduce.NewCounters()
+	out, err := mapreduce.ExecuteReduceTask(job, task.TaskID, task.NumReduces, sorted, counters)
+	if err != nil {
+		args.Err = err.Error()
+		w.report(args)
+		return
+	}
+	args.Output = out
+	args.Counters = counters.Snapshot()
+	w.logf("worker %d: reduce %d of job %d done (%d records)", w.id, task.TaskID, task.JobID, len(out))
+	w.report(args)
+}
+
+// fetch retrieves one map task's partition, from local store when the data
+// is ours, otherwise over the peer RPC.
+func (w *Worker) fetch(addr string, jobID, mapTask, partition int) ([]mapreduce.Pair, error) {
+	if addr == w.addr {
+		w.mu.Lock()
+		parts, ok := w.store[storeKey{jobID: jobID, mapTask: mapTask}]
+		w.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("rpcmr: local map output %d/%d missing", jobID, mapTask)
+		}
+		return parts[partition], nil
+	}
+	client, err := w.peer(addr)
+	if err != nil {
+		return nil, err
+	}
+	var reply FetchReply
+	err = client.Call("Worker.FetchPartition", &FetchArgs{JobID: jobID, MapTaskID: mapTask, Partition: partition}, &reply)
+	if err != nil {
+		w.dropPeer(addr)
+		return nil, err
+	}
+	return reply.Pairs, nil
+}
+
+func (w *Worker) peer(addr string) (*rpc.Client, error) {
+	w.peersMu.Lock()
+	defer w.peersMu.Unlock()
+	if c, ok := w.peers[addr]; ok {
+		return c, nil
+	}
+	c, err := dialWorker(addr)
+	if err != nil {
+		return nil, err
+	}
+	w.peers[addr] = c
+	return c, nil
+}
+
+func (w *Worker) dropPeer(addr string) {
+	w.peersMu.Lock()
+	if c, ok := w.peers[addr]; ok {
+		c.Close()
+		delete(w.peers, addr)
+	}
+	w.peersMu.Unlock()
+}
+
+// workerRPC is the worker's RPC surface for the master and peer workers.
+type workerRPC struct {
+	w *Worker
+}
+
+// FetchPartition serves one partition of a stored map output.
+func (r *workerRPC) FetchPartition(args *FetchArgs, reply *FetchReply) error {
+	w := r.w
+	w.mu.Lock()
+	parts, ok := w.store[storeKey{jobID: args.JobID, mapTask: args.MapTaskID}]
+	w.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("rpcmr: map output %d/%d not on this worker", args.JobID, args.MapTaskID)
+	}
+	if args.Partition < 0 || args.Partition >= len(parts) {
+		return fmt.Errorf("rpcmr: partition %d out of range", args.Partition)
+	}
+	reply.Pairs = parts[args.Partition]
+	return nil
+}
+
+// Cleanup drops a job's intermediate data.
+func (r *workerRPC) Cleanup(args *CleanupArgs, reply *CleanupReply) error {
+	w := r.w
+	w.mu.Lock()
+	for k := range w.store {
+		if k.jobID == args.JobID {
+			delete(w.store, k)
+		}
+	}
+	w.mu.Unlock()
+	return nil
+}

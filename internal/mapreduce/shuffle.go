@@ -1,0 +1,52 @@
+package mapreduce
+
+import "sort"
+
+// sortPairs orders pairs by key. The sort is stable so that values under
+// one key keep their emission order — several jobs rely on deterministic
+// value order for reproducible output.
+func sortPairs(ps []Pair) {
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].Key < ps[j].Key })
+}
+
+// forEachGroup walks pairs already sorted by key and invokes fn once per
+// distinct key with all values of that group. The values slice is reused
+// between calls only if fn does not retain it; here a fresh slice is built
+// per group because user reducers commonly retain values.
+func forEachGroup(ps []Pair, fn func(key string, values [][]byte) error) error {
+	for i := 0; i < len(ps); {
+		j := i + 1
+		for j < len(ps) && ps[j].Key == ps[i].Key {
+			j++
+		}
+		values := make([][]byte, 0, j-i)
+		for k := i; k < j; k++ {
+			values = append(values, ps[k].Value)
+		}
+		if err := fn(ps[i].Key, values); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// runCombiner applies a combiner to one partition buffer: sort, group,
+// re-emit. It returns the combined pairs (sorted by construction of the
+// group walk) and the number of input records consumed.
+func runCombiner(ctx *TaskContext, combine ReduceFunc, ps []Pair) ([]Pair, int, error) {
+	sortPairs(ps)
+	out := make([]Pair, 0, len(ps))
+	sink := EmitterFunc(func(key string, value []byte) {
+		out = append(out, Pair{Key: key, Value: value})
+	})
+	if err := forEachGroup(ps, func(key string, values [][]byte) error {
+		return combine(ctx, key, values, sink)
+	}); err != nil {
+		return nil, 0, err
+	}
+	return out, len(ps), nil
+}
+
+// pairBytes is the shuffle size accounting for one record.
+func pairBytes(p Pair) int64 { return int64(len(p.Key) + len(p.Value)) }

@@ -1,0 +1,206 @@
+package mapreduce
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Spill-to-disk support. When a map task's buffered intermediate data
+// exceeds the engine's spill threshold, each partition buffer is sorted
+// (and combined, when a combiner is configured), then written as a sorted
+// run file. Reduce tasks merge the run files with the remaining in-memory
+// buffer using a k-way heap merge, so a job's intermediate data never has
+// to fit in memory — the same external-sort discipline Hadoop uses.
+//
+// Run file format: a sequence of records, each
+//
+//	uint32 keyLen | key bytes | uint32 valueLen | value bytes
+//
+// in little-endian, sorted by key.
+
+// writeRun writes sorted pairs to a new run file at path.
+func writeRun(path string, ps []Pair) (bytes int64, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	w := bufio.NewWriterSize(f, 1<<16)
+	var hdr [4]byte
+	for _, p := range ps {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p.Key)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return 0, err
+		}
+		if _, err := w.WriteString(p.Key); err != nil {
+			return 0, err
+		}
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p.Value)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return 0, err
+		}
+		if _, err := w.Write(p.Value); err != nil {
+			return 0, err
+		}
+		bytes += 8 + pairBytes(p)
+	}
+	return bytes, w.Flush()
+}
+
+// pairIterator yields key-ordered pairs from some source.
+type pairIterator interface {
+	// next returns the next pair; ok=false at end of stream.
+	next() (p Pair, ok bool, err error)
+	// close releases resources.
+	close() error
+}
+
+// sliceIterator iterates an already-sorted in-memory slice.
+type sliceIterator struct {
+	ps []Pair
+	i  int
+}
+
+func (it *sliceIterator) next() (Pair, bool, error) {
+	if it.i >= len(it.ps) {
+		return Pair{}, false, nil
+	}
+	p := it.ps[it.i]
+	it.i++
+	return p, true, nil
+}
+
+func (it *sliceIterator) close() error { return nil }
+
+// runIterator streams a run file.
+type runIterator struct {
+	f *os.File
+	r *bufio.Reader
+}
+
+func openRun(path string) (*runIterator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &runIterator{f: f, r: bufio.NewReaderSize(f, 1<<16)}, nil
+}
+
+func (it *runIterator) next() (Pair, bool, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(it.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Pair{}, false, nil
+		}
+		return Pair{}, false, fmt.Errorf("mapreduce: corrupt run file %s: %w", it.f.Name(), err)
+	}
+	keyLen := binary.LittleEndian.Uint32(hdr[:])
+	key := make([]byte, keyLen)
+	if _, err := io.ReadFull(it.r, key); err != nil {
+		return Pair{}, false, fmt.Errorf("mapreduce: corrupt run file %s: %w", it.f.Name(), err)
+	}
+	if _, err := io.ReadFull(it.r, hdr[:]); err != nil {
+		return Pair{}, false, fmt.Errorf("mapreduce: corrupt run file %s: %w", it.f.Name(), err)
+	}
+	valLen := binary.LittleEndian.Uint32(hdr[:])
+	val := make([]byte, valLen)
+	if _, err := io.ReadFull(it.r, val); err != nil {
+		return Pair{}, false, fmt.Errorf("mapreduce: corrupt run file %s: %w", it.f.Name(), err)
+	}
+	return Pair{Key: string(key), Value: val}, true, nil
+}
+
+func (it *runIterator) close() error { return it.f.Close() }
+
+// mergeHeap orders iterator heads by key. Ties break by source index so the
+// merge is deterministic.
+type mergeHead struct {
+	pair Pair
+	src  int
+}
+
+type mergeHeap []mergeHead
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].pair.Key != h[j].pair.Key {
+		return h[i].pair.Key < h[j].pair.Key
+	}
+	return h[i].src < h[j].src
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeHead)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// mergeGroups performs a k-way merge over sorted iterators and invokes fn
+// once per distinct key with all its values, in key order.
+func mergeGroups(its []pairIterator, fn func(key string, values [][]byte) error) error {
+	defer func() {
+		for _, it := range its {
+			it.close()
+		}
+	}()
+	h := make(mergeHeap, 0, len(its))
+	for i, it := range its {
+		p, ok, err := it.next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			h = append(h, mergeHead{pair: p, src: i})
+		}
+	}
+	heap.Init(&h)
+	var (
+		curKey  string
+		curVals [][]byte
+		have    bool
+	)
+	flush := func() error {
+		if !have {
+			return nil
+		}
+		err := fn(curKey, curVals)
+		curVals = nil
+		have = false
+		return err
+	}
+	for h.Len() > 0 {
+		head := h[0]
+		if have && head.pair.Key != curKey {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		if !have {
+			curKey = head.pair.Key
+			have = true
+		}
+		curVals = append(curVals, head.pair.Value)
+		p, ok, err := its[head.src].next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			h[0] = mergeHead{pair: p, src: head.src}
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return flush()
+}

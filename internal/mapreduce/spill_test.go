@@ -1,0 +1,201 @@
+package mapreduce
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ps := []Pair{
+		{Key: "a", Value: []byte("1")},
+		{Key: "b", Value: nil},
+		{Key: "b", Value: []byte("payload with spaces")},
+		{Key: "z", Value: make([]byte, 1000)},
+	}
+	path := filepath.Join(dir, "r.run")
+	n, err := writeRun(path, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("writeRun bytes = %d", n)
+	}
+	it, err := openRun(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.close()
+	for i, want := range ps {
+		got, ok, err := it.next()
+		if err != nil || !ok {
+			t.Fatalf("record %d: ok=%v err=%v", i, ok, err)
+		}
+		if got.Key != want.Key || string(got.Value) != string(want.Value) {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok, err := it.next(); ok || err != nil {
+		t.Fatalf("want clean EOF, got ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCorruptRunFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.run")
+	if _, err := writeRun(path, []Pair{{Key: "abc", Value: []byte("xyz")}}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-record.
+	trunc := filepath.Join(dir, "t.run")
+	data := readFile(t, path)
+	writeFile(t, trunc, data[:len(data)-2])
+	it, err := openRun(trunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.close()
+	if _, _, err := it.next(); err == nil {
+		t.Fatal("want error on truncated run")
+	}
+}
+
+func TestMergeGroupsOrdersAndGroups(t *testing.T) {
+	its := []pairIterator{
+		&sliceIterator{ps: []Pair{{Key: "a", Value: []byte("1")}, {Key: "c", Value: []byte("2")}}},
+		&sliceIterator{ps: []Pair{{Key: "a", Value: []byte("3")}, {Key: "b", Value: []byte("4")}}},
+		&sliceIterator{ps: nil},
+	}
+	var keys []string
+	var sizes []int
+	err := mergeGroups(its, func(key string, values [][]byte) error {
+		keys = append(keys, key)
+		sizes = append(sizes, len(values))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(keys) != "[a b c]" || fmt.Sprint(sizes) != "[2 1 1]" {
+		t.Fatalf("keys=%v sizes=%v", keys, sizes)
+	}
+}
+
+// Property: a spilling engine produces the same grouped result as the
+// in-memory engine for arbitrary record streams.
+func TestSpillEquivalenceProperty(t *testing.T) {
+	job := func() *Job {
+		return &Job{
+			Name: "group-count",
+			Map: func(_ *TaskContext, _ string, value []byte, out Emitter) error {
+				out.Emit(string(value[:1]), value[1:])
+				return nil
+			},
+			Reduce: func(_ *TaskContext, key string, values [][]byte, out Emitter) error {
+				total := 0
+				for _, v := range values {
+					total += len(v)
+				}
+				out.Emit(key, []byte(strconv.Itoa(total)))
+				return nil
+			},
+		}
+	}
+	f := func(recs [][]byte) bool {
+		var input []Pair
+		for _, r := range recs {
+			if len(r) == 0 {
+				continue
+			}
+			input = append(input, Pair{Value: r})
+		}
+		mem := &LocalEngine{Parallelism: 3}
+		spill := &LocalEngine{Parallelism: 3, SpillThresholdBytes: 16}
+		a, err := mem.Run(job(), input)
+		if err != nil {
+			return false
+		}
+		b, err := spill.Run(job(), input)
+		if err != nil {
+			return false
+		}
+		return samePairs(a.Output, b.Output)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpillActuallySpills(t *testing.T) {
+	eng := &LocalEngine{Parallelism: 2, SpillThresholdBytes: 64}
+	input := make([]Pair, 200)
+	for i := range input {
+		input[i] = Pair{Value: []byte(fmt.Sprintf("k%d payload-%d", i%5, i))}
+	}
+	job := &Job{
+		Name: "spiller",
+		Map: func(_ *TaskContext, _ string, value []byte, out Emitter) error {
+			out.Emit(string(value[:2]), value)
+			return nil
+		},
+		Reduce: func(_ *TaskContext, key string, values [][]byte, out Emitter) error {
+			out.Emit(key, []byte(strconv.Itoa(len(values))))
+			return nil
+		},
+	}
+	res, err := eng.Run(job, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Get(CtrSpilledRuns) == 0 {
+		t.Fatal("no spills happened despite tiny threshold")
+	}
+	total := 0
+	for _, p := range res.Output {
+		n, _ := strconv.Atoi(string(p.Value))
+		total += n
+	}
+	if total != 200 {
+		t.Fatalf("records after spill = %d, want 200", total)
+	}
+}
+
+func samePairs(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(p Pair) string { return p.Key + "\x00" + string(p.Value) }
+	as := make([]string, len(a))
+	bs := make([]string, len(b))
+	for i := range a {
+		as[i], bs[i] = key(a[i]), key(b[i])
+	}
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := osReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func writeFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := osWriteFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package mapreduce
+
+import "fmt"
+
+// Task-level execution, shared by the local engine and the distributed
+// rpcmr engine: a remote worker executes exactly these functions on its
+// shard of the job.
+
+// ExecuteMapTask runs job.Map over the records of one input split,
+// applies the combiner (when configured), partitions the output into
+// nReduce buckets, and returns the buckets sorted by key. Shuffle bytes
+// and record counters are accumulated into counters. Spilling is not used
+// at this level; the distributed engine ships partitions whole.
+func ExecuteMapTask(job *Job, taskID, nReduce int, records []Pair, counters *Counters) ([][]Pair, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	if nReduce <= 0 {
+		return nil, fmt.Errorf("mapreduce: map task with %d reduce partitions", nReduce)
+	}
+	ctx := &TaskContext{
+		JobName:    job.Name,
+		TaskID:     taskID,
+		NumReduces: nReduce,
+		Conf:       job.Conf,
+		Counters:   counters,
+	}
+	em := &taskEmitter{
+		job:     job,
+		ctx:     ctx,
+		part:    job.partitioner(),
+		nReduce: nReduce,
+		buf:     make([][]Pair, nReduce),
+		runs:    make([][]string, nReduce),
+	}
+	for _, rec := range records {
+		if err := job.Map(ctx, rec.Key, rec.Value, em); err != nil {
+			return nil, fmt.Errorf("mapreduce: map task %d of %q: %w", taskID, job.Name, err)
+		}
+	}
+	counters.Add(CtrMapInputRecords, int64(len(records)))
+	counters.Add(CtrMapOutputRecords, em.outRecords)
+	out, err := em.close()
+	if err != nil {
+		return nil, err
+	}
+	return out.mem, nil
+}
+
+// ExecuteReduceTask merges the already-sorted partition slices fetched
+// from every map task and runs job.Reduce over each key group, returning
+// the task's output pairs. For a map-only job it concatenates the inputs.
+func ExecuteReduceTask(job *Job, taskID, nReduce int, sorted [][]Pair, counters *Counters) ([]Pair, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	if job.Reduce == nil {
+		var out []Pair
+		for _, ps := range sorted {
+			out = append(out, ps...)
+		}
+		return out, nil
+	}
+	ctx := &TaskContext{
+		JobName:    job.Name,
+		TaskID:     taskID,
+		NumReduces: nReduce,
+		Conf:       job.Conf,
+		Counters:   counters,
+	}
+	its := make([]pairIterator, 0, len(sorted))
+	for _, ps := range sorted {
+		if len(ps) > 0 {
+			its = append(its, &sliceIterator{ps: ps})
+		}
+	}
+	var out []Pair
+	sink := EmitterFunc(func(key string, value []byte) {
+		out = append(out, Pair{Key: key, Value: value})
+	})
+	var groups, records int64
+	err := mergeGroups(its, func(key string, values [][]byte) error {
+		groups++
+		records += int64(len(values))
+		return job.Reduce(ctx, key, values, sink)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: reduce task %d of %q: %w", taskID, job.Name, err)
+	}
+	counters.Add(CtrReduceInputGroups, groups)
+	counters.Add(CtrReduceInputRecords, records)
+	counters.Add(CtrReduceOutputRecords, int64(len(out)))
+	return out, nil
+}

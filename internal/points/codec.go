@@ -1,0 +1,148 @@
+package points
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary codecs for the record types that flow through MapReduce jobs.
+// Records use a fixed little-endian layout rather than encoding/gob: job
+// values are encoded once per emit and the shuffle-byte counters should
+// reflect honest data sizes, not gob's per-stream type dictionaries.
+
+// AppendPoint appends the wire form of p (id, dim, coordinates) to buf.
+func AppendPoint(buf []byte, p Point) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.ID))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Pos)))
+	for _, x := range p.Pos {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	return buf
+}
+
+// EncodePoint returns the wire form of p.
+func EncodePoint(p Point) []byte { return AppendPoint(nil, p) }
+
+// DecodePoint parses a point from the front of buf and returns the rest.
+func DecodePoint(buf []byte) (Point, []byte, error) {
+	if len(buf) < 8 {
+		return Point{}, nil, fmt.Errorf("points: short point header: %d bytes", len(buf))
+	}
+	id := int32(binary.LittleEndian.Uint32(buf))
+	dim := int(binary.LittleEndian.Uint32(buf[4:]))
+	buf = buf[8:]
+	if len(buf) < 8*dim {
+		return Point{}, nil, fmt.Errorf("points: short point body: want %d floats, have %d bytes", dim, len(buf))
+	}
+	pos := make(Vector, dim)
+	for i := 0; i < dim; i++ {
+		pos[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return Point{ID: id, Pos: pos}, buf[8*dim:], nil
+}
+
+// MustDecodePoint is DecodePoint for trusted intra-job data.
+func MustDecodePoint(buf []byte) Point {
+	p, rest, err := DecodePoint(buf)
+	if err != nil {
+		panic(err)
+	}
+	if len(rest) != 0 {
+		panic(fmt.Sprintf("points: %d trailing bytes after point", len(rest)))
+	}
+	return p
+}
+
+// RhoPoint is a point annotated with its (approximate) local density —
+// the record shuffled into the δ jobs of every distributed algorithm here.
+type RhoPoint struct {
+	Point
+	Rho float64
+}
+
+// AppendRhoPoint appends the wire form of rp to buf.
+func AppendRhoPoint(buf []byte, rp RhoPoint) []byte {
+	buf = AppendPoint(buf, rp.Point)
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(rp.Rho))
+}
+
+// EncodeRhoPoint returns the wire form of rp.
+func EncodeRhoPoint(rp RhoPoint) []byte { return AppendRhoPoint(nil, rp) }
+
+// DecodeRhoPoint parses a RhoPoint from the front of buf and returns the rest.
+func DecodeRhoPoint(buf []byte) (RhoPoint, []byte, error) {
+	p, rest, err := DecodePoint(buf)
+	if err != nil {
+		return RhoPoint{}, nil, err
+	}
+	if len(rest) < 8 {
+		return RhoPoint{}, nil, fmt.Errorf("points: short rho tail: %d bytes", len(rest))
+	}
+	rho := math.Float64frombits(binary.LittleEndian.Uint64(rest))
+	return RhoPoint{Point: p, Rho: rho}, rest[8:], nil
+}
+
+// MustDecodeRhoPoint is DecodeRhoPoint for trusted intra-job data.
+func MustDecodeRhoPoint(buf []byte) RhoPoint {
+	rp, rest, err := DecodeRhoPoint(buf)
+	if err != nil {
+		panic(err)
+	}
+	if len(rest) != 0 {
+		panic(fmt.Sprintf("points: %d trailing bytes after rho point", len(rest)))
+	}
+	return rp
+}
+
+// RhoValue is a partial or final density result keyed by point ID.
+type RhoValue struct {
+	ID  int32
+	Rho float64
+}
+
+// EncodeRhoValue returns the wire form of rv.
+func EncodeRhoValue(rv RhoValue) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(rv.ID))
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(rv.Rho))
+}
+
+// DecodeRhoValue parses a RhoValue.
+func DecodeRhoValue(buf []byte) (RhoValue, error) {
+	if len(buf) != 12 {
+		return RhoValue{}, fmt.Errorf("points: rho value is %d bytes, want 12", len(buf))
+	}
+	return RhoValue{
+		ID:  int32(binary.LittleEndian.Uint32(buf)),
+		Rho: math.Float64frombits(binary.LittleEndian.Uint64(buf[4:])),
+	}, nil
+}
+
+// DeltaValue is a partial or final δ result: the candidate minimum distance
+// to a denser point and the identity of that upslope point (-1 when the
+// point looked like the absolute density peak in its partition, in which
+// case Delta is +Inf until rectified).
+type DeltaValue struct {
+	ID      int32
+	Delta   float64
+	Upslope int32
+}
+
+// EncodeDeltaValue returns the wire form of dv.
+func EncodeDeltaValue(dv DeltaValue) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(dv.ID))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(dv.Delta))
+	return binary.LittleEndian.AppendUint32(buf, uint32(dv.Upslope))
+}
+
+// DecodeDeltaValue parses a DeltaValue.
+func DecodeDeltaValue(buf []byte) (DeltaValue, error) {
+	if len(buf) != 16 {
+		return DeltaValue{}, fmt.Errorf("points: delta value is %d bytes, want 16", len(buf))
+	}
+	return DeltaValue{
+		ID:      int32(binary.LittleEndian.Uint32(buf)),
+		Delta:   math.Float64frombits(binary.LittleEndian.Uint64(buf[4:])),
+		Upslope: int32(binary.LittleEndian.Uint32(buf[12:])),
+	}, nil
+}

@@ -1,0 +1,149 @@
+package points
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointCodecRoundTrip(t *testing.T) {
+	p := Point{ID: 42, Pos: Vector{1.5, -2.25, 1e300, 0}}
+	got := MustDecodePoint(EncodePoint(p))
+	if got.ID != p.ID || len(got.Pos) != len(p.Pos) {
+		t.Fatalf("round trip = %+v", got)
+	}
+	for i := range p.Pos {
+		if got.Pos[i] != p.Pos[i] {
+			t.Fatalf("coordinate %d = %v, want %v", i, got.Pos[i], p.Pos[i])
+		}
+	}
+}
+
+// Property: every generated point round-trips exactly, including special
+// float values, and leaves no residue.
+func TestPointCodecRoundTripProperty(t *testing.T) {
+	f := func(id int32, coords []float64) bool {
+		p := Point{ID: id, Pos: Vector(coords)}
+		dec, rest, err := DecodePoint(EncodePoint(p))
+		if err != nil || len(rest) != 0 || dec.ID != id || len(dec.Pos) != len(coords) {
+			return false
+		}
+		for i := range coords {
+			// NaN != NaN; compare bit patterns.
+			if math.Float64bits(dec.Pos[i]) != math.Float64bits(coords[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointCodecConcatenation(t *testing.T) {
+	// Multiple points appended to one buffer decode sequentially.
+	var buf []byte
+	want := []Point{
+		{ID: 1, Pos: Vector{1}},
+		{ID: 2, Pos: Vector{2, 3}},
+		{ID: 3, Pos: Vector{}},
+	}
+	for _, p := range want {
+		buf = AppendPoint(buf, p)
+	}
+	for _, w := range want {
+		var p Point
+		var err error
+		p, buf, err = DecodePoint(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ID != w.ID || len(p.Pos) != len(w.Pos) {
+			t.Fatalf("got %+v, want %+v", p, w)
+		}
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d residual bytes", len(buf))
+	}
+}
+
+func TestPointCodecErrors(t *testing.T) {
+	if _, _, err := DecodePoint([]byte{1, 2, 3}); err == nil {
+		t.Fatal("want error on short header")
+	}
+	// Header claims 5 floats but body is empty.
+	buf := EncodePoint(Point{ID: 1, Pos: Vector{1, 2, 3, 4, 5}})[:8]
+	if _, _, err := DecodePoint(buf); err == nil {
+		t.Fatal("want error on short body")
+	}
+}
+
+func TestMustDecodePanicsOnTrailing(t *testing.T) {
+	buf := append(EncodePoint(Point{ID: 1, Pos: Vector{1}}), 0xFF)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on trailing bytes")
+		}
+	}()
+	MustDecodePoint(buf)
+}
+
+func TestRhoPointCodec(t *testing.T) {
+	rp := RhoPoint{Point: Point{ID: 9, Pos: Vector{7, 8}}, Rho: 123.5}
+	got := MustDecodeRhoPoint(EncodeRhoPoint(rp))
+	if got.ID != 9 || got.Rho != 123.5 || got.Pos[1] != 8 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if _, _, err := DecodeRhoPoint(EncodePoint(rp.Point)); err == nil {
+		t.Fatal("want error when rho tail missing")
+	}
+}
+
+func TestRhoValueCodec(t *testing.T) {
+	rv := RhoValue{ID: -1, Rho: math.Inf(1)}
+	got, err := DecodeRhoValue(EncodeRhoValue(rv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != -1 || !math.IsInf(got.Rho, 1) {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if _, err := DecodeRhoValue([]byte{1}); err == nil {
+		t.Fatal("want error on wrong size")
+	}
+}
+
+func TestDeltaValueCodec(t *testing.T) {
+	cases := []DeltaValue{
+		{ID: 0, Delta: 1.5, Upslope: 7},
+		{ID: 1 << 20, Delta: math.Inf(1), Upslope: -1},
+		{ID: 3, Delta: 0, Upslope: 0},
+	}
+	for _, dv := range cases {
+		got, err := DecodeDeltaValue(EncodeDeltaValue(dv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != dv.ID || got.Upslope != dv.Upslope ||
+			math.Float64bits(got.Delta) != math.Float64bits(dv.Delta) {
+			t.Fatalf("round trip %+v = %+v", dv, got)
+		}
+	}
+	if _, err := DecodeDeltaValue(make([]byte, 15)); err == nil {
+		t.Fatal("want error on wrong size")
+	}
+}
+
+// Property: DeltaValue codec round-trips arbitrary content.
+func TestDeltaValueCodecProperty(t *testing.T) {
+	f := func(id, up int32, delta float64) bool {
+		dv := DeltaValue{ID: id, Delta: delta, Upslope: up}
+		got, err := DecodeDeltaValue(EncodeDeltaValue(dv))
+		return err == nil && got.ID == id && got.Upslope == up &&
+			math.Float64bits(got.Delta) == math.Float64bits(delta)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+package tuning_test
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/dp"
+	"repro/internal/tuning"
+)
+
+// Asking the Section V cost model for an (M, π, w) recommendation.
+func ExampleModel_Recommend() {
+	ds := dataset.BigCross(2000, 7)
+	dc := dp.CutoffByPercentile(ds, 0.02, 1)
+	model := &tuning.Model{N: ds.N(), Dim: ds.Dim(), Dc: dc, Seed: 1}
+	costs, err := model.Recommend(ds, 0.99, []int{5, 10, 20}, []int{3, 6})
+	if err != nil {
+		panic(err)
+	}
+	best := costs[0]
+	fmt.Printf("recommended M=%d pi=%d (accuracy %.2f, %d candidates ranked)\n",
+		best.M, best.Pi, best.Accuracy, len(costs))
+	// Output:
+	// recommended M=5 pi=3 (accuracy 0.99, 6 candidates ranked)
+}
