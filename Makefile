@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench experiments examples clean
+.PHONY: all check build test test-short vet race bench experiments examples clean
 
-all: build vet test
+all: check
+
+# The full gate: compile everything, vet, run the test suite, and re-run
+# the MapReduce engines (local + rpcmr) under the race detector.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -17,6 +21,10 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# The engines are the concurrency-heavy core; keep them race-clean.
+race:
+	$(GO) test -race ./internal/mapreduce/... ./internal/mapreduce/rpcmr/...
 
 bench:
 	$(GO) test -bench=. -benchmem .

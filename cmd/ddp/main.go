@@ -34,6 +34,7 @@ import (
 	"repro/internal/kmeansmr"
 	"repro/internal/mapreduce"
 	"repro/internal/mapreduce/rpcmr"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -56,10 +57,12 @@ func main() {
 		halo     = flag.Bool("halo", false, "also flag halo (border/noise) points in the output")
 		out      = flag.String("out", "", "write labels CSV here ('-' or empty = stdout)")
 		verbose  = flag.Bool("v", false, "log per-job progress")
+		traceOut = flag.String("trace", "", "write a JSONL job trace (task phase spans) to this file")
 
 		masterListen = flag.String("master-listen", "", "run distributed: listen for mrd workers on this address")
 		minWorkers   = flag.Int("min-workers", 1, "distributed: wait for at least this many workers")
 		workerWait   = flag.Duration("worker-wait", time.Minute, "distributed: how long to wait for workers")
+		monitor      = flag.Duration("monitor", 0, "distributed: emit live counter snapshots at this interval (0 = off)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -82,7 +85,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	engine, cleanup, err := buildEngine(*masterListen, *minWorkers, *workerWait)
+	engine, cleanup, err := buildEngine(*masterListen, *minWorkers, *workerWait, *monitor, *verbose)
 	fatal(err)
 	defer cleanup()
 
@@ -93,14 +96,27 @@ func main() {
 		Kernel: kern,
 	}
 	if *verbose {
-		cfg.Log = func(format string, args ...interface{}) {
+		cfg.Log = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	var trace *obs.Trace
+	if *traceOut != "" {
+		trace = &obs.Trace{}
+		cfg.Trace = trace
 	}
 
 	start := time.Now()
 	res, err := runAlgorithm(ds, *algo, cfg, *accuracy, *mFlag, *piFlag, *block)
 	fatal(err)
+
+	if trace != nil {
+		f, err := os.Create(*traceOut)
+		fatal(err)
+		fatal(trace.WriteJSONL(f))
+		fatal(f.Close())
+		fmt.Fprintf(os.Stderr, "ddp: trace written to %s (%d jobs)\n", *traceOut, len(trace.Jobs()))
+	}
 
 	g, err := res.Graph()
 	fatal(err)
@@ -167,13 +183,17 @@ func main() {
 
 // buildEngine returns the local engine, or boots a master and waits for
 // workers when -master-listen is set.
-func buildEngine(listen string, minWorkers int, wait time.Duration) (mapreduce.Engine, func(), error) {
+func buildEngine(listen string, minWorkers int, wait, monitor time.Duration, verbose bool) (mapreduce.Engine, func(), error) {
 	if listen == "" {
 		return &mapreduce.LocalEngine{}, func() {}, nil
 	}
 	m, err := rpcmr.NewMaster(listen)
 	if err != nil {
 		return nil, nil, err
+	}
+	m.MonitorInterval = monitor
+	if verbose || monitor > 0 {
+		m.Events = obs.NewWriterSink(os.Stderr)
 	}
 	fmt.Fprintf(os.Stderr, "ddp: master listening on %s; waiting for %d worker(s)...\n", m.Addr(), minWorkers)
 	if err := m.WaitWorkers(minWorkers, wait); err != nil {

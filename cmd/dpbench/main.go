@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 var exps = []struct {
@@ -48,14 +49,20 @@ func main() {
 		verbose  = flag.Bool("v", false, "log per-job progress")
 		csvDir   = flag.String("csv", "", "also write each report as CSV into this directory")
 		htmlOut  = flag.String("html", "", "also write all reports as one HTML page to this file")
+		traceOut = flag.String("trace", "", "write a JSONL job trace (task phase spans) to this file")
 	)
 	flag.Parse()
 
 	opt := experiments.Options{Scale: *scale, Seed: *seed, Parallelism: *parallel}
 	if *verbose {
-		opt.Log = func(format string, args ...interface{}) {
+		opt.Log = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	var trace *obs.Trace
+	if *traceOut != "" {
+		trace = &obs.Trace{}
+		opt.Trace = trace
 	}
 
 	want := map[string]bool{}
@@ -100,6 +107,19 @@ func main() {
 	if !ranAny {
 		fmt.Fprintln(os.Stderr, "dpbench: nothing to run")
 		os.Exit(2)
+	}
+	if trace != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteJSONL(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (%d job traces)\n", *traceOut, len(trace.Jobs()))
 	}
 	if *htmlOut != "" {
 		f, err := os.Create(*htmlOut)

@@ -20,12 +20,14 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dfs"
 	"repro/internal/eddpc"
 	"repro/internal/kmeansmr"
 	"repro/internal/mapreduce/rpcmr"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -60,9 +62,17 @@ func waitForSignal() {
 func runMaster(args []string) {
 	fs := flag.NewFlagSet("master", flag.ExitOnError)
 	addr := fs.String("addr", ":7070", "listen address")
+	verbose := fs.Bool("v", false, "log scheduler and progress events to stderr")
+	monitor := fs.Duration("monitor", 0, "emit live counter snapshots at this interval while a job runs (0 = off)")
+	pprofAddr := fs.String("pprof", "", "serve /debug/pprof on this address (e.g. :6060; empty = off)")
 	fs.Parse(args)
+	startPprof(*pprofAddr)
 	m, err := rpcmr.NewMaster(*addr)
 	fatal(err)
+	if *verbose {
+		m.Events = obs.NewWriterSink(os.Stderr)
+	}
+	m.MonitorInterval = *monitor
 	fmt.Printf("mrd: master listening on %s\n", m.Addr())
 	waitForSignal()
 	for _, rec := range m.History() {
@@ -70,9 +80,11 @@ func runMaster(args []string) {
 		if rec.Failed {
 			status = "FAILED"
 		}
-		fmt.Printf("mrd: job %3d %-24s %-6s %8.2fs  maps=%d reduces=%d shuffleB=%d\n",
-			rec.ID, rec.Name, status, rec.Wall.Seconds(), rec.Maps, rec.Reduces,
-			rec.Counters["shuffle.bytes"])
+		fmt.Printf("mrd: job %3d %-24s %-6s %8.2fs  maps=%d reduces=%d workers=%d shuffleB=%d map-med=%s map-max=%s stragglers=%d\n",
+			rec.ID, rec.Name, status, rec.Wall.Seconds(), rec.Maps, rec.Reduces, rec.Workers,
+			rec.Counters["shuffle.bytes"],
+			rec.MapDist.Median.Round(time.Millisecond), rec.MapDist.Max.Round(time.Millisecond),
+			rec.MapDist.Stragglers+rec.ReduceDist.Stragglers)
 	}
 	m.Close()
 }
@@ -81,13 +93,30 @@ func runWorker(args []string) {
 	fs := flag.NewFlagSet("worker", flag.ExitOnError)
 	master := fs.String("master", "localhost:7070", "master address")
 	addr := fs.String("addr", ":0", "listen address for shuffle fetches")
+	verbose := fs.Bool("v", false, "log task events to stderr")
+	pprofAddr := fs.String("pprof", "", "serve /debug/pprof on this address (e.g. :6061; empty = off)")
 	fs.Parse(args)
+	startPprof(*pprofAddr)
 	registerAllJobs()
 	w, err := rpcmr.StartWorker(*master, *addr)
 	fatal(err)
+	if *verbose {
+		sink := obs.NewWriterSink(os.Stderr)
+		w.Log = func(format string, args ...any) { sink.Event("worker", format, args...) }
+	}
 	fmt.Printf("mrd: worker %d serving on %s (master %s)\n", w.ID(), w.Addr(), *master)
 	waitForSignal()
 	w.Close()
+}
+
+// startPprof optionally exposes the profiling endpoints for this daemon.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	p, err := obs.StartPprof(addr)
+	fatal(err)
+	fmt.Printf("mrd: pprof on http://%s/debug/pprof/\n", p.Addr())
 }
 
 // registerAllJobs installs every job factory in the repository so a worker

@@ -51,9 +51,10 @@ func RunBasicDDP(ds *points.Dataset, cfg BasicConfig) (*Result, error) {
 	}
 	drv := mapreduce.NewDriver(cfg.engine())
 	drv.Log = cfg.Log
+	drv.Trace = cfg.Trace
 	input := InputPairs(ds)
 
-	dc, err := chooseDc(drv, ds, &cfg.Config, input)
+	dc, err := ChooseDc(drv, ds, &cfg.Config, input)
 	if err != nil {
 		return nil, err
 	}
@@ -69,11 +70,11 @@ func RunBasicDDP(ds *points.Dataset, cfg BasicConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rhoOut, err := drv.Run(withReduces(RhoAggJob(JobBasicAgg, mapreduce.Conf{}), cfg.NumReduces), partials)
+	rhoOut, err := drv.Run(withReduces(RhoAggJob(JobBasicAgg, mapreduce.Conf{}), cfg.NumReduces), partials.Output)
 	if err != nil {
 		return nil, err
 	}
-	rho, err := DecodeRhoArray(rhoOut, ds.N())
+	rho, err := DecodeRhoArray(rhoOut.Output, ds.N())
 	if err != nil {
 		return nil, err
 	}
@@ -84,11 +85,11 @@ func RunBasicDDP(ds *points.Dataset, cfg BasicConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	dOut, err := drv.Run(withReduces(DeltaAggJob(JobBasicDAgg, mapreduce.Conf{}), cfg.NumReduces), dPartials)
+	dOut, err := drv.Run(withReduces(DeltaAggJob(JobBasicDAgg, mapreduce.Conf{}), cfg.NumReduces), dPartials.Output)
 	if err != nil {
 		return nil, err
 	}
-	delta, upslope, err := DecodeDeltaArrays(dOut, ds.N())
+	delta, upslope, err := DecodeDeltaArrays(dOut.Output, ds.N())
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +204,7 @@ func BasicRhoJob(conf mapreduce.Conf) *mapreduce.Job {
 					}
 				}
 			}
-			addInt64(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
 			for i, p := range local {
 				out.Emit(idKey(p.ID), points.EncodeRhoValue(points.RhoValue{ID: p.ID, Rho: localRho[i]}))
 			}
@@ -315,7 +316,7 @@ func BasicDeltaJob(conf mapreduce.Conf) *mapreduce.Job {
 					st.observe(visitors[vi], local[li], d2)
 				}
 			}
-			addInt64(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
 			st.emit(out)
 			return nil
 		},

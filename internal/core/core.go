@@ -30,6 +30,7 @@ import (
 	"repro/internal/decision"
 	"repro/internal/dp"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/points"
 )
 
@@ -76,6 +77,10 @@ type Stats struct {
 	// DistanceComputations counts pairwise distance evaluations
 	// (Figure 10(c)).
 	DistanceComputations int64
+	// Phases aggregates the trace spans of every job by phase (map /
+	// combine / sort / shuffle / reduce): task counts, wall time,
+	// records, and bytes — where the run spent its time.
+	Phases obs.PhaseTotals
 	// Dc is the cutoff distance used (chosen or configured).
 	Dc float64
 	// W, Pi, M record the LSH parameters actually used (LSH-DDP only).
@@ -162,7 +167,10 @@ type Config struct {
 	// extension — see kernel.go).
 	Kernel dp.Kernel
 	// Log, when non-nil, receives progress lines.
-	Log func(format string, args ...interface{})
+	Log func(format string, args ...any)
+	// Trace, when non-nil, collects every job's structured trace; wire it
+	// to obs.Trace.WriteJSONL / WriteTree for per-task phase timing.
+	Trace *obs.Trace
 }
 
 func (c *Config) engine() mapreduce.Engine {
@@ -172,7 +180,8 @@ func (c *Config) engine() mapreduce.Engine {
 	return &mapreduce.LocalEngine{}
 }
 
-func (c *Config) percentile() float64 {
+// DcPercentileOrDefault returns the effective d_c quantile (default 0.02).
+func (c *Config) DcPercentileOrDefault() float64 {
 	if c.DcPercentile > 0 {
 		return c.DcPercentile
 	}
@@ -241,7 +250,7 @@ func DcSampleJob(conf mapreduce.Conf) *mapreduce.Job {
 				pts = append(pts, p)
 			}
 			dists := make([]float64, 0, len(pts)*(len(pts)-1)/2)
-			distCtr := ctx.Counters.C(mapreduce.CtrDistanceComputations)
+			distCtr := ctx.Counters.Cell(mapreduce.CtrDistanceComputations)
 			var nd int64
 			for i := range pts {
 				for j := i + 1; j < len(pts); j++ {
@@ -249,7 +258,7 @@ func DcSampleJob(conf mapreduce.Conf) *mapreduce.Job {
 					nd++
 				}
 			}
-			addInt64(distCtr, nd)
+			distCtr.Add(nd)
 			if len(dists) == 0 {
 				return fmt.Errorf("core: d_c sample produced no pairs (sample too small)")
 			}
@@ -264,8 +273,13 @@ func DcSampleJob(conf mapreduce.Conf) *mapreduce.Job {
 	}
 }
 
-// chooseDc runs the d_c job unless the config pins a value.
-func chooseDc(drv *mapreduce.Driver, ds *points.Dataset, cfg *Config, input []mapreduce.Pair) (float64, error) {
+// ChooseDc runs the shared d_c preprocessing job on r unless cfg.Dc pins
+// a value: it samples at most cfg.DcSamplePoints points, computes all
+// pairwise distances at a single reducer, and returns the configured
+// quantile (Section III-A's rule of thumb). Every algorithm package
+// (Basic-DDP, LSH-DDP, EDDPC) calls this with its own Runner so the job
+// shows up in that pipeline's stats and trace.
+func ChooseDc(r mapreduce.Runner, ds *points.Dataset, cfg *Config, input []mapreduce.Pair) (float64, error) {
 	if cfg.Dc > 0 {
 		return cfg.Dc, nil
 	}
@@ -275,12 +289,13 @@ func chooseDc(drv *mapreduce.Driver, ds *points.Dataset, cfg *Config, input []ma
 	}
 	conf := mapreduce.Conf{}
 	conf.SetFloat(confSampleFrac, frac)
-	conf.SetFloat(confPercentile, cfg.percentile())
+	conf.SetFloat(confPercentile, cfg.DcPercentileOrDefault())
 	conf.SetInt64(confSeed, cfg.Seed)
-	out, err := drv.Run(DcSampleJob(conf), input)
+	res, err := r.Run(DcSampleJob(conf), input)
 	if err != nil {
 		return 0, err
 	}
+	out := res.Output
 	if len(out) != 1 {
 		return 0, fmt.Errorf("core: d_c job produced %d records, want 1", len(out))
 	}
@@ -309,29 +324,14 @@ func decodeFloat(b []byte) float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(b))
 }
 
-func addInt64(p *int64, delta int64) {
-	// Counters are shared across tasks; use the counter cell atomically.
-	// (Wrapped here so hot loops can accumulate locally and flush once.)
-	if delta != 0 {
-		AtomicAdd(p, delta)
-	}
-}
-
-// CollectStats folds driver totals into Stats.
-func CollectStats(st *Stats, drv *mapreduce.Driver, start time.Time) {
-	st.Jobs = drv.Jobs()
-	st.JobWall = drv.TotalWall()
-	st.ShuffleBytes = drv.TotalCounter(mapreduce.CtrShuffleBytes)
-	st.DistanceComputations = drv.TotalCounter(mapreduce.CtrDistanceComputations)
+// CollectStats folds runner totals — job stats, counters, and per-phase
+// trace aggregates — into Stats. It works on any Runner: local Driver or
+// rpcmr Master.
+func CollectStats(st *Stats, r mapreduce.Runner, start time.Time) {
+	st.Jobs = r.Jobs()
+	st.JobWall = r.TotalWall()
+	st.ShuffleBytes = r.TotalCounter(mapreduce.CtrShuffleBytes)
+	st.DistanceComputations = r.TotalCounter(mapreduce.CtrDistanceComputations)
+	st.Phases = obs.Totals(r.Traces())
 	st.Wall = time.Since(start)
-}
-
-// DcPercentileOrDefault exposes the effective d_c quantile to sibling
-// algorithm packages (eddpc).
-func (c *Config) DcPercentileOrDefault() float64 { return c.percentile() }
-
-// ChooseDc exposes the shared d_c preprocessing job to sibling algorithm
-// packages: it runs the sampling job on drv unless cfg.Dc pins a value.
-func ChooseDc(drv *mapreduce.Driver, ds *points.Dataset, cfg *Config, input []mapreduce.Pair) (float64, error) {
-	return chooseDc(drv, ds, cfg, input)
 }

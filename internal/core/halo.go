@@ -111,7 +111,7 @@ func LSHHaloJob(conf mapreduce.Conf) *mapreduce.Job {
 					}
 				}
 			}
-			AtomicAdd(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
 			for c, b := range border {
 				out.Emit(clusterKey(c), encodeFloat(b))
 			}
@@ -191,11 +191,12 @@ func RunLSHHalo(ds *points.Dataset, rho []float64, labels []int32, dc float64, c
 	}
 	drv := mapreduce.NewDriver(cfg.engine())
 	drv.Log = cfg.Log
+	drv.Trace = cfg.Trace
 	partials, err := drv.Run(withReduces(LSHHaloJob(conf.Clone()), cfg.NumReduces), input)
 	if err != nil {
 		return nil, err
 	}
-	agg, err := drv.Run(withReduces(LSHHaloAggJob(mapreduce.Conf{}), cfg.NumReduces), partials)
+	agg, err := drv.Run(withReduces(LSHHaloAggJob(mapreduce.Conf{}), cfg.NumReduces), partials.Output)
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +205,7 @@ func RunLSHHalo(ds *points.Dataset, rho []float64, labels []int32, dc float64, c
 		Halo:   make([]bool, ds.N()),
 		Border: make([]float64, nClusters),
 	}
-	for _, p := range agg {
+	for _, p := range agg.Output {
 		var c int32
 		if _, err := fmt.Sscanf(p.Key, "c%d", &c); err != nil {
 			return nil, fmt.Errorf("core: bad cluster key %q", p.Key)

@@ -83,9 +83,10 @@ func RunLSHDDP(ds *points.Dataset, cfg LSHConfig) (*Result, error) {
 	}
 	drv := mapreduce.NewDriver(cfg.engine())
 	drv.Log = cfg.Log
+	drv.Trace = cfg.Trace
 	input := InputPairs(ds)
 
-	dc, err := chooseDc(drv, ds, &cfg.Config, input)
+	dc, err := ChooseDc(drv, ds, &cfg.Config, input)
 	if err != nil {
 		return nil, err
 	}
@@ -113,11 +114,11 @@ func RunLSHDDP(ds *points.Dataset, cfg LSHConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rhoOut, err := drv.Run(withReduces(LSHRhoAggJob(conf.Clone()), cfg.NumReduces), partials)
+	rhoOut, err := drv.Run(withReduces(LSHRhoAggJob(conf.Clone()), cfg.NumReduces), partials.Output)
 	if err != nil {
 		return nil, err
 	}
-	rho, err := DecodeRhoArray(rhoOut, ds.N())
+	rho, err := DecodeRhoArray(rhoOut.Output, ds.N())
 	if err != nil {
 		return nil, err
 	}
@@ -128,11 +129,11 @@ func RunLSHDDP(ds *points.Dataset, cfg LSHConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	dOut, err := drv.Run(withReduces(DeltaAggJob(JobLSHDelAgg, mapreduce.Conf{}), cfg.NumReduces), dPartials)
+	dOut, err := drv.Run(withReduces(DeltaAggJob(JobLSHDelAgg, mapreduce.Conf{}), cfg.NumReduces), dPartials.Output)
 	if err != nil {
 		return nil, err
 	}
-	delta, upslope, err := DecodeDeltaArrays(dOut, ds.N())
+	delta, upslope, err := DecodeDeltaArrays(dOut.Output, ds.N())
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +220,7 @@ func LSHRhoJob(conf mapreduce.Conf) *mapreduce.Job {
 					}
 				}
 			}
-			addInt64(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
 			for i, p := range pts {
 				out.Emit(idKey(p.ID), points.EncodeRhoValue(points.RhoValue{ID: p.ID, Rho: rho[i]}))
 			}
@@ -322,7 +323,7 @@ func LSHDeltaJob(conf mapreduce.Conf) *mapreduce.Job {
 					}
 				}
 			}
-			addInt64(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
 			for i, p := range pts {
 				dv := points.DeltaValue{ID: p.ID, Delta: math.Inf(1), Upslope: -1}
 				if up[i] >= 0 {

@@ -81,6 +81,7 @@ func Run(ds *points.Dataset, cfg Config) (*core.Result, error) {
 	}
 	drv := mapreduce.NewDriver(eng)
 	drv.Log = cfg.Log
+	drv.Trace = cfg.Trace
 	input := core.InputPairs(ds)
 
 	dc, err := core.ChooseDc(drv, ds, &cfg.Config, input)
@@ -99,7 +100,7 @@ func Run(ds *points.Dataset, cfg Config) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rho, err := core.DecodeRhoArray(rhoOut, ds.N())
+	rho, err := core.DecodeRhoArray(rhoOut.Output, ds.N())
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +111,7 @@ func Run(ds *points.Dataset, cfg Config) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ub, ubUp, err := core.DecodeDeltaArrays(locOut, ds.N())
+	ub, ubUp, err := core.DecodeDeltaArrays(locOut.Output, ds.N())
 	if err != nil {
 		return nil, err
 	}
@@ -127,12 +128,12 @@ func Run(ds *points.Dataset, cfg Config) (*core.Result, error) {
 	}
 
 	// Job 4: aggregate local bounds and refinement candidates.
-	aggIn := append(append([]mapreduce.Pair(nil), locOut...), refOut...)
+	aggIn := append(append([]mapreduce.Pair(nil), locOut.Output...), refOut.Output...)
 	aggOut, err := drv.Run(withReduces(core.DeltaAggJob(JobDeltaAgg, mapreduce.Conf{}), cfg.NumReduces), aggIn)
 	if err != nil {
 		return nil, err
 	}
-	delta, upslope, err := core.DecodeDeltaArrays(aggOut, ds.N())
+	delta, upslope, err := core.DecodeDeltaArrays(aggOut.Output, ds.N())
 	if err != nil {
 		return nil, err
 	}

@@ -7,7 +7,6 @@ import (
 	"strconv"
 	"sync"
 
-	"repro/internal/core"
 	"repro/internal/dp"
 	"repro/internal/mapreduce"
 	"repro/internal/points"
@@ -70,7 +69,7 @@ func RhoJob(conf mapreduce.Conf) *mapreduce.Job {
 			}
 			var nd int64
 			asg := a.assign(p.Pos, &nd)
-			addInt64(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
 			out.Emit(strconv.Itoa(asg.home), tagged(tagHome, value))
 			for c, b := range asg.bounds {
 				if c != asg.home && b < dc {
@@ -115,7 +114,7 @@ func RhoJob(conf mapreduce.Conf) *mapreduce.Job {
 					}
 				}
 			}
-			addInt64(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
 			for i, p := range home {
 				out.Emit(idKey(p.ID), points.EncodeRhoValue(points.RhoValue{ID: p.ID, Rho: rho[i]}))
 			}
@@ -142,7 +141,7 @@ func DeltaLocalJob(conf mapreduce.Conf) *mapreduce.Job {
 			}
 			var nd int64
 			asg := a.assign(rp.Pos, &nd)
-			addInt64(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
 			out.Emit(strconv.Itoa(asg.home), value)
 			return nil
 		},
@@ -177,7 +176,7 @@ func DeltaLocalJob(conf mapreduce.Conf) *mapreduce.Job {
 					}
 				}
 			}
-			addInt64(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
 			for i, p := range pts {
 				dv := points.DeltaValue{ID: p.ID, Delta: math.Inf(1), Upslope: -1}
 				if up[i] >= 0 {
@@ -232,7 +231,7 @@ func DeltaRefineJob(conf mapreduce.Conf) *mapreduce.Job {
 			}
 			var nd int64
 			asg := a.assign(rp.Pos, &nd)
-			addInt64(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
 			out.Emit(strconv.Itoa(asg.home), tagged(tagData, points.EncodeRhoPoint(rp)))
 			for c, b := range asg.bounds {
 				if c != asg.home && b < ub {
@@ -294,7 +293,7 @@ func DeltaRefineJob(conf mapreduce.Conf) *mapreduce.Job {
 					}))
 				}
 			}
-			addInt64(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
 			return nil
 		},
 	}
@@ -340,8 +339,3 @@ func resolveAbsolutePeak(ds *points.Dataset, rho, delta []float64, upslope []int
 
 func idKey(id int32) string { return fmt.Sprintf("%09d", id) }
 
-func addInt64(p *int64, delta int64) {
-	if delta != 0 {
-		core.AtomicAdd(p, delta)
-	}
-}

@@ -261,7 +261,7 @@ func naiveRhoJob(dc float64, n int) *mapreduce.Job {
 				}
 				pts = append(pts, p)
 			}
-			distCtr := ctx.Counters.C(mapreduce.CtrDistanceComputations)
+			distCtr := ctx.Counters.Cell(mapreduce.CtrDistanceComputations)
 			var rho float64
 			var nd int64
 			for _, p := range pts {
@@ -273,7 +273,7 @@ func naiveRhoJob(dc float64, n int) *mapreduce.Job {
 					rho++
 				}
 			}
-			core.AtomicAdd(distCtr, nd)
+			distCtr.Add(nd)
 			out.Emit(key, points.EncodeRhoValue(points.RhoValue{ID: self.ID, Rho: rho}))
 			return nil
 		},

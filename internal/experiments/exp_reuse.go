@@ -54,7 +54,7 @@ func ablateDistanceReuse(opt *Options, r *Report) error {
 	}
 	// Separate ρ partials (key "r...") from distance records (key "d...").
 	var rhoPartials, distRecords []mapreduce.Pair
-	for _, p := range matOut {
+	for _, p := range matOut.Output {
 		if p.Key[0] == 'r' {
 			rhoPartials = append(rhoPartials, mapreduce.Pair{Key: p.Key[1:], Value: p.Value})
 		} else {
@@ -65,7 +65,7 @@ func ablateDistanceReuse(opt *Options, r *Report) error {
 	if err != nil {
 		return err
 	}
-	rho, err := core.DecodeRhoArray(rhoOut, ds.N())
+	rho, err := core.DecodeRhoArray(rhoOut.Output, ds.N())
 	if err != nil {
 		return err
 	}
@@ -82,11 +82,11 @@ func ablateDistanceReuse(opt *Options, r *Report) error {
 	if err != nil {
 		return err
 	}
-	dOut, err := drv.Run(core.DeltaAggJob("reuse-delta-agg", mapreduce.Conf{}), dPartials)
+	dOut, err := drv.Run(core.DeltaAggJob("reuse-delta-agg", mapreduce.Conf{}), dPartials.Output)
 	if err != nil {
 		return err
 	}
-	delta, _, err := core.DecodeDeltaArrays(dOut, ds.N())
+	delta, _, err := core.DecodeDeltaArrays(dOut.Output, ds.N())
 	if err != nil {
 		return err
 	}
@@ -220,7 +220,7 @@ func rhoAndMatrixJob(dc float64, nBlocks int) *mapreduce.Job {
 					emitPair(local[i], visitors[v])
 				}
 			}
-			core.AtomicAdd(ctx.Counters.C(mapreduce.CtrDistanceComputations), nd)
+			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
 			for _, p := range local {
 				out.Emit("r"+fmt.Sprintf("%09d", p.ID),
 					points.EncodeRhoValue(points.RhoValue{ID: p.ID, Rho: rho[p.ID]}))

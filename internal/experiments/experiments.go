@@ -19,6 +19,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/decision"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/points"
 )
 
@@ -32,7 +33,10 @@ type Options struct {
 	// Parallelism bounds engine workers; <=0 uses all cores.
 	Parallelism int
 	// Log receives progress lines when non-nil.
-	Log func(format string, args ...interface{})
+	Log func(format string, args ...any)
+	// Trace, when non-nil, collects the structured trace of every
+	// MapReduce job the experiments run (wire it to a -trace flag).
+	Trace *obs.Trace
 }
 
 func (o *Options) scale() int {
@@ -46,7 +50,7 @@ func (o *Options) engine() mapreduce.Engine {
 	return &mapreduce.LocalEngine{Parallelism: o.Parallelism}
 }
 
-func (o *Options) logf(format string, args ...interface{}) {
+func (o *Options) logf(format string, args ...any) {
 	if o.Log != nil {
 		o.Log(format, args...)
 	}
@@ -163,7 +167,7 @@ func fratio(a, b float64) string {
 // A = 0.99, M = 10, π = 3.
 func (o *Options) lshConfig(eng mapreduce.Engine) core.LSHConfig {
 	return core.LSHConfig{
-		Config:   core.Config{Engine: eng, Seed: o.Seed, DcPercentile: 0.02},
+		Config:   core.Config{Engine: eng, Seed: o.Seed, DcPercentile: 0.02, Trace: o.Trace},
 		Accuracy: 0.99,
 		M:        10,
 		Pi:       3,
@@ -173,7 +177,7 @@ func (o *Options) lshConfig(eng mapreduce.Engine) core.LSHConfig {
 // basicConfig is the paper's Basic-DDP setting (block size 500).
 func (o *Options) basicConfig(eng mapreduce.Engine) core.BasicConfig {
 	return core.BasicConfig{
-		Config:    core.Config{Engine: eng, Seed: o.Seed, DcPercentile: 0.02},
+		Config:    core.Config{Engine: eng, Seed: o.Seed, DcPercentile: 0.02, Trace: o.Trace},
 		BlockSize: 500,
 	}
 }

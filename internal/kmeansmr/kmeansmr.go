@@ -185,7 +185,7 @@ func assignMap(ctx *mapreduce.TaskContext, _ string, value []byte, out mapreduce
 			best, bestD = c, d
 		}
 	}
-	core.AtomicAdd(ctx.Counters.C(mapreduce.CtrDistanceComputations), int64(len(centers)))
+	ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(int64(len(centers)))
 	out.Emit(strconv.Itoa(best), encodePartial(1, p.Pos))
 	return nil
 }

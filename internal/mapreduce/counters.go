@@ -33,9 +33,9 @@ const (
 // name.
 const CtrDistanceComputations = "dp.distance.computations"
 
-// Counters is a concurrency-safe named counter set. Hot paths should hold
-// on to the *int64 returned by C and use atomic adds; occasional updates can
-// go through Add.
+// Counters is a concurrency-safe named counter set. Hot paths should hoist
+// Cell(name) out of the loop and call Add on the cell; occasional updates
+// can go through Add on the set itself.
 type Counters struct {
 	mu sync.Mutex
 	m  map[string]*int64
@@ -46,9 +46,36 @@ func NewCounters() *Counters {
 	return &Counters{m: make(map[string]*int64)}
 }
 
-// C returns the addressable cell for name, creating it at zero. The cell
-// must be updated with sync/atomic.
-func (c *Counters) C(name string) *int64 {
+// Cell is a handle on one named counter, valid for the lifetime of its
+// Counters set. It is a value type wrapping the underlying slot, so hot
+// loops pay one map lookup up front and a single atomic add per update.
+type Cell struct {
+	p *int64
+}
+
+// Add atomically adds delta to the cell. The zero Cell is a no-op, so
+// counter updates stay safe even when a task runs without counters.
+func (c Cell) Add(delta int64) {
+	if c.p != nil {
+		atomic.AddInt64(c.p, delta)
+	}
+}
+
+// Load returns the cell's current value.
+func (c Cell) Load() int64 {
+	if c.p == nil {
+		return 0
+	}
+	return atomic.LoadInt64(c.p)
+}
+
+// Cell returns the handle for the named counter, creating it at zero.
+func (c *Counters) Cell(name string) Cell {
+	return Cell{p: c.slot(name)}
+}
+
+// slot returns the addressable storage for name, creating it at zero.
+func (c *Counters) slot(name string) *int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	p, ok := c.m[name]
@@ -61,7 +88,7 @@ func (c *Counters) C(name string) *int64 {
 
 // Add atomically adds delta to the named counter.
 func (c *Counters) Add(name string, delta int64) {
-	atomic.AddInt64(c.C(name), delta)
+	atomic.AddInt64(c.slot(name), delta)
 }
 
 // Get returns the current value of the named counter (0 when absent).
@@ -107,6 +134,3 @@ func (c *Counters) String() string {
 	}
 	return b.String()
 }
-
-// atomicAddInt64 is the add primitive counter cells use.
-func atomicAddInt64(p *int64, delta int64) { atomic.AddInt64(p, delta) }

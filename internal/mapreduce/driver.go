@@ -3,7 +3,25 @@ package mapreduce
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// Runner is the single surface algorithm packages program against: run a
+// job, then read back per-job stats, traces, and counter totals. Both the
+// local Driver and the distributed rpcmr.Master implement it, so a
+// pipeline written once runs unmodified in-process or on a cluster.
+type Runner interface {
+	Engine
+	// Jobs returns stats for every executed job, in execution order.
+	Jobs() []JobStats
+	// Traces returns the structured trace of every executed job.
+	Traces() []obs.JobTrace
+	// TotalCounter returns the named counter summed over all jobs.
+	TotalCounter(name string) int64
+	// TotalWall returns the summed wall time of all executed jobs.
+	TotalWall() time.Duration
+}
 
 // Driver chains MapReduce jobs: each stage's output pairs become the next
 // stage's input, the way a Hadoop driver program strings jobs together on
@@ -13,11 +31,18 @@ import (
 type Driver struct {
 	Engine Engine
 	// Log, when non-nil, receives one line per completed job.
-	Log func(format string, args ...interface{})
+	Log func(format string, args ...any)
+	// Trace, when non-nil, additionally receives every job's trace —
+	// the hook CLI -trace flags use to stream a whole pipeline's spans
+	// into one JSONL file.
+	Trace *obs.Trace
 
-	jobs  []JobStats
-	total Counters
+	jobs   []JobStats
+	traces []obs.JobTrace
+	total  Counters
 }
+
+var _ Runner = (*Driver)(nil)
 
 // JobStats records one executed job.
 type JobStats struct {
@@ -32,29 +57,52 @@ func NewDriver(engine Engine) *Driver {
 	return &Driver{Engine: engine, total: *NewCounters()}
 }
 
-// Run executes one job, records its stats, and returns its output.
-func (d *Driver) Run(job *Job, input []Pair) ([]Pair, error) {
+// Run executes one job and records its stats and trace.
+func (d *Driver) Run(job *Job, input []Pair) (*Result, error) {
 	res, err := d.Engine.Run(job, input)
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
 	}
+	snap := res.Counters.Snapshot()
 	d.jobs = append(d.jobs, JobStats{
 		Name:     job.Name,
 		Wall:     res.Wall,
-		Counters: res.Counters.Snapshot(),
+		Counters: snap,
 		Records:  len(res.Output),
 	})
 	d.total.Merge(res.Counters)
+	trace := res.Trace
+	if trace == nil {
+		// Engines without span support still yield a countable trace.
+		trace = &obs.JobTrace{Job: job.Name, Wall: res.Wall, Counters: snap}
+	}
+	if trace.ID == 0 {
+		trace.ID = len(d.jobs)
+	}
+	// The local engine leaves span job IDs unset; stamp them so JSONL
+	// span lines attribute to the same id as their job line.
+	for i := range trace.Spans {
+		if trace.Spans[i].JobID == 0 {
+			trace.Spans[i].JobID = trace.ID
+		}
+	}
+	d.traces = append(d.traces, *trace)
+	if d.Trace != nil {
+		d.Trace.Add(*trace)
+	}
 	if d.Log != nil {
 		d.Log("job %-24s %8.3fs  out=%d shuffleB=%d dist=%d",
 			job.Name, res.Wall.Seconds(), len(res.Output),
 			res.Counters.Get(CtrShuffleBytes), res.Counters.Get(CtrDistanceComputations))
 	}
-	return res.Output, nil
+	return res, nil
 }
 
 // Jobs returns stats for every executed job, in execution order.
 func (d *Driver) Jobs() []JobStats { return d.jobs }
+
+// Traces returns the trace of every executed job, in execution order.
+func (d *Driver) Traces() []obs.JobTrace { return d.traces }
 
 // TotalCounter returns the sum of the named counter over all executed jobs.
 func (d *Driver) TotalCounter(name string) int64 { return d.total.Get(name) }

@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Result is the outcome of one job execution.
@@ -14,10 +16,13 @@ type Result struct {
 	Output   []Pair
 	Counters *Counters
 	Wall     time.Duration
+	// Trace holds the job's task-phase spans when the engine collected
+	// them (both engines do); nil otherwise.
+	Trace *obs.JobTrace
 }
 
 // Engine executes MapReduce jobs. Implementations: LocalEngine (in-process,
-// multicore) and rpcmr.Cluster (distributed over net/rpc).
+// multicore) and rpcmr.Master (distributed over net/rpc).
 type Engine interface {
 	Run(job *Job, input []Pair) (*Result, error)
 }
@@ -35,6 +40,11 @@ type LocalEngine struct {
 	SpillThresholdBytes int64
 	// TempDir hosts spill files; "" means os.TempDir().
 	TempDir string
+	// MonitorInterval, when >0 and Events is set, emits periodic counter
+	// snapshots (records/s, shuffle MB/s) while a job runs.
+	MonitorInterval time.Duration
+	// Events receives scheduler and progress events; nil discards them.
+	Events obs.Sink
 }
 
 func (e *LocalEngine) parallelism() int {
@@ -54,6 +64,8 @@ type mapTaskOutput struct {
 
 // taskEmitter buffers map output per partition and spills when over
 // threshold. Not safe for concurrent use; each map task owns one.
+// Alongside the data it accumulates the per-phase wall times and volumes
+// that become the task's trace spans.
 type taskEmitter struct {
 	spillThreshold int64 // 0 = never spill
 	job            *Job
@@ -68,6 +80,14 @@ type taskEmitter struct {
 	err            error
 
 	outRecords int64
+
+	// Phase accounting for the task's trace spans.
+	combineWall    time.Duration
+	sortWall       time.Duration
+	spillWall      time.Duration
+	combineIn      int64
+	shuffleRecords int64
+	shuffleBytes   int64
 }
 
 func (t *taskEmitter) Emit(key string, value []byte) {
@@ -96,7 +116,9 @@ func (t *taskEmitter) spill() error {
 		}
 		path := filepath.Join(t.spillDir, fmt.Sprintf("spill-%s-m%d-p%d-%d.run", sanitize(t.job.Name), t.ctx.TaskID, p, t.spillSeq))
 		t.spillSeq++
+		w0 := time.Now()
 		n, err := writeRun(path, ps)
+		t.spillWall += time.Since(w0)
 		if err != nil {
 			return fmt.Errorf("mapreduce: spill: %w", err)
 		}
@@ -114,16 +136,24 @@ func (t *taskEmitter) spill() error {
 // shuffle-ready pairs. The buffer is left untouched; callers reset it.
 func (t *taskEmitter) finishPartition(p int) ([]Pair, error) {
 	ps := t.buf[p]
+	s0 := time.Now()
+	sortPairs(ps)
+	t.sortWall += time.Since(s0)
 	if t.job.Combine == nil {
-		sortPairs(ps)
 		return ps, nil
 	}
+	c0 := time.Now()
 	combined, in, err := runCombiner(t.ctx, t.job.Combine, ps)
+	t.combineWall += time.Since(c0)
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: combiner in %q: %w", t.job.Name, err)
 	}
+	t.combineIn += int64(in)
 	t.ctx.Counters.Add(CtrCombineInputRecords, int64(in))
+	// Combiners may emit under new keys, so re-establish sort order.
+	s1 := time.Now()
 	sortPairs(combined)
+	t.sortWall += time.Since(s1)
 	return combined, nil
 }
 
@@ -134,6 +164,8 @@ func (t *taskEmitter) countShuffle(ps []Pair) {
 	}
 	t.ctx.Counters.Add(CtrShuffleBytes, bytes)
 	t.ctx.Counters.Add(CtrShuffleRecords, int64(len(ps)))
+	t.shuffleBytes += bytes
+	t.shuffleRecords += int64(len(ps))
 }
 
 // close finalizes remaining buffers into sorted in-memory partitions.
@@ -157,9 +189,42 @@ func (t *taskEmitter) close() (*mapTaskOutput, error) {
 	return out, nil
 }
 
-// Run executes the job on input and returns its output pairs and counters.
-// Output order is deterministic: reduce partitions in index order, keys in
-// sorted order within each partition.
+// taskSpans converts the accumulated phase accounting into this map
+// task's trace spans. The map span is charged the task wall MINUS the
+// combine/sort/spill time, so a job's phase walls partition its task
+// walls instead of double-counting. The shuffle span's Bytes field is the
+// post-combine volume — summing it over a job's shuffle spans reproduces
+// CtrShuffleBytes exactly (the trace invariant the conformance test
+// asserts). Span counts are a pure function of job shape: map + sort +
+// shuffle, plus combine when a combiner is configured.
+func (t *taskEmitter) taskSpans(start time.Time, wall time.Duration, inRecords int64) []obs.Span {
+	base := obs.Span{Job: t.job.Name, Task: t.ctx.TaskID, Start: start}
+	mapWall := wall - t.combineWall - t.sortWall - t.spillWall
+	if mapWall < 0 {
+		mapWall = 0
+	}
+	spans := make([]obs.Span, 0, 4)
+	m := base
+	m.Phase, m.Wall, m.Records = obs.PhaseMap, mapWall, inRecords
+	spans = append(spans, m)
+	if t.job.Combine != nil {
+		c := base
+		c.Phase, c.Wall, c.Records = obs.PhaseCombine, t.combineWall, t.combineIn
+		spans = append(spans, c)
+	}
+	s := base
+	s.Phase, s.Wall = obs.PhaseSort, t.sortWall
+	spans = append(spans, s)
+	sh := base
+	sh.Phase, sh.Wall = obs.PhaseShuffle, t.spillWall
+	sh.Records, sh.Bytes = t.shuffleRecords, t.shuffleBytes
+	spans = append(spans, sh)
+	return spans
+}
+
+// Run executes the job on input and returns its output pairs, counters,
+// and trace. Output order is deterministic: reduce partitions in index
+// order, keys in sorted order within each partition.
 func (e *LocalEngine) Run(job *Job, input []Pair) (*Result, error) {
 	start := time.Now()
 	if err := job.validate(); err != nil {
@@ -179,6 +244,10 @@ func (e *LocalEngine) Run(job *Job, input []Pair) (*Result, error) {
 	}
 
 	counters := NewCounters()
+	if e.MonitorInterval > 0 && e.Events != nil {
+		mon := obs.StartMonitor(job.Name, e.MonitorInterval, counters.Snapshot, e.Events)
+		defer mon.Stop()
+	}
 	spillDir := ""
 	if e.SpillThresholdBytes > 0 {
 		dir, err := os.MkdirTemp(e.TempDir, "mr-"+sanitize(job.Name)+"-")
@@ -192,7 +261,9 @@ func (e *LocalEngine) Run(job *Job, input []Pair) (*Result, error) {
 	// ---- Map phase ----
 	splits := splitInput(input, nMaps)
 	taskOuts := make([]*mapTaskOutput, len(splits))
+	mapSpans := make([][]obs.Span, len(splits))
 	err := runParallel(len(splits), workers, func(ti int) error {
+		taskStart := time.Now()
 		ctx := &TaskContext{
 			JobName:    job.Name,
 			TaskID:     ti,
@@ -225,10 +296,16 @@ func (e *LocalEngine) Run(job *Job, input []Pair) (*Result, error) {
 			return err
 		}
 		taskOuts[ti] = out
+		mapSpans[ti] = em.taskSpans(taskStart, time.Since(taskStart), int64(len(splits[ti])))
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+
+	trace := &obs.JobTrace{Job: job.Name}
+	for _, ss := range mapSpans {
+		trace.Spans = append(trace.Spans, ss...)
 	}
 
 	// Map-only job: concatenate map outputs in task order.
@@ -239,12 +316,16 @@ func (e *LocalEngine) Run(job *Job, input []Pair) (*Result, error) {
 				output = append(output, ps...)
 			}
 		}
-		return &Result{Output: output, Counters: counters, Wall: time.Since(start)}, nil
+		trace.Wall = time.Since(start)
+		trace.Counters = counters.Snapshot()
+		return &Result{Output: output, Counters: counters, Wall: trace.Wall, Trace: trace}, nil
 	}
 
 	// ---- Reduce phase ----
 	reduceOuts := make([][]Pair, nReduce)
+	reduceSpans := make([]obs.Span, nReduce)
 	err = runParallel(nReduce, workers, func(r int) error {
+		taskStart := time.Now()
 		ctx := &TaskContext{
 			JobName:    job.Name,
 			TaskID:     r,
@@ -282,6 +363,10 @@ func (e *LocalEngine) Run(job *Job, input []Pair) (*Result, error) {
 		counters.Add(CtrReduceInputRecords, records)
 		counters.Add(CtrReduceOutputRecords, int64(len(out)))
 		reduceOuts[r] = out
+		reduceSpans[r] = obs.Span{
+			Job: job.Name, Phase: obs.PhaseReduce, Task: r,
+			Start: taskStart, Wall: time.Since(taskStart), Records: records,
+		}
 		return nil
 	})
 	if err != nil {
@@ -292,7 +377,10 @@ func (e *LocalEngine) Run(job *Job, input []Pair) (*Result, error) {
 	for _, ps := range reduceOuts {
 		output = append(output, ps...)
 	}
-	return &Result{Output: output, Counters: counters, Wall: time.Since(start)}, nil
+	trace.Spans = append(trace.Spans, reduceSpans...)
+	trace.Wall = time.Since(start)
+	trace.Counters = counters.Snapshot()
+	return &Result{Output: output, Counters: counters, Wall: trace.Wall, Trace: trace}, nil
 }
 
 // splitInput partitions input records into n contiguous splits of

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestConfTypedAccessors(t *testing.T) {
@@ -58,9 +60,9 @@ func TestCountersConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cell := c.C("hot")
+			cell := c.Cell("hot")
 			for i := 0; i < 1000; i++ {
-				AtomicAddTest(cell, 1)
+				cell.Add(1)
 				c.Add("cold", 1)
 			}
 		}()
@@ -71,6 +73,14 @@ func TestCountersConcurrent(t *testing.T) {
 	}
 	if got := c.Get("cold"); got != 8000 {
 		t.Fatalf("cold = %d", got)
+	}
+	if got := c.Cell("hot").Load(); got != 8000 {
+		t.Fatalf("cell load = %d", got)
+	}
+	var zero Cell
+	zero.Add(5) // must not panic
+	if zero.Load() != 0 {
+		t.Fatal("zero cell should read 0")
 	}
 }
 
@@ -96,7 +106,7 @@ func TestCountersMergeAndSnapshot(t *testing.T) {
 func TestDriverPipelines(t *testing.T) {
 	eng := &LocalEngine{Parallelism: 2}
 	drv := NewDriver(eng)
-	out1, err := drv.Run(wordcount(), lines("a a b"))
+	res1, err := drv.Run(wordcount(), lines("a a b"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,11 +120,11 @@ func TestDriverPipelines(t *testing.T) {
 		},
 		Reduce: sumReduce,
 	}
-	out2, err := drv.Run(doubler, out1)
+	res2, err := drv.Run(doubler, res1.Output)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := outputMap(out2)["a"]; got != "4" {
+	if got := outputMap(res2.Output)["a"]; got != "4" {
 		t.Fatalf("pipelined count = %q", got)
 	}
 	if len(drv.Jobs()) != 2 {
@@ -125,6 +135,25 @@ func TestDriverPipelines(t *testing.T) {
 	}
 	if drv.TotalCounter(CtrMapInputRecords) != 3 {
 		t.Fatalf("total map input = %d", drv.TotalCounter(CtrMapInputRecords))
+	}
+	traces := drv.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("driver recorded %d traces", len(traces))
+	}
+	for _, tr := range traces {
+		if len(tr.Spans) == 0 {
+			t.Fatalf("job %q trace has no spans", tr.Job)
+		}
+		var shuffleBytes int64
+		for _, s := range tr.Spans {
+			if s.Phase == obs.PhaseShuffle {
+				shuffleBytes += s.Bytes
+			}
+		}
+		if shuffleBytes != tr.Counters[CtrShuffleBytes] {
+			t.Fatalf("job %q: shuffle span bytes %d != counter %d",
+				tr.Job, shuffleBytes, tr.Counters[CtrShuffleBytes])
+		}
 	}
 }
 
@@ -140,7 +169,9 @@ func TestExecuteTaskParityWithEngine(t *testing.T) {
 	// The exported task-level functions (used by the distributed engine)
 	// must produce the same result as the local engine.
 	input := lines("p q p", "r p q", "q q")
-	nReduce := 3
+	// Same reduce count on both paths so span counts are comparable (the
+	// engine defaults NumReduces to its parallelism).
+	nReduce := 2
 
 	engineRes, err := (&LocalEngine{Parallelism: 2}).Run(wordcount(), input)
 	if err != nil {
@@ -150,12 +181,14 @@ func TestExecuteTaskParityWithEngine(t *testing.T) {
 	counters := NewCounters()
 	splits := splitInput(input, 2)
 	perTask := make([][][]Pair, len(splits))
+	var spanCount int
 	for ti, split := range splits {
-		parts, err := ExecuteMapTask(wordcount(), ti, nReduce, split, counters)
+		parts, spans, err := ExecuteMapTask(wordcount(), ti, nReduce, split, counters)
 		if err != nil {
 			t.Fatal(err)
 		}
 		perTask[ti] = parts
+		spanCount += len(spans)
 	}
 	var manual []Pair
 	for r := 0; r < nReduce; r++ {
@@ -163,11 +196,15 @@ func TestExecuteTaskParityWithEngine(t *testing.T) {
 		for _, parts := range perTask {
 			sorted = append(sorted, parts[r])
 		}
-		out, err := ExecuteReduceTask(wordcount(), r, nReduce, sorted, counters)
+		out, spans, err := ExecuteReduceTask(wordcount(), r, nReduce, sorted, counters)
 		if err != nil {
 			t.Fatal(err)
 		}
 		manual = append(manual, out...)
+		spanCount += len(spans)
+	}
+	if engineSpans := len(engineRes.Trace.Spans); spanCount != engineSpans {
+		t.Fatalf("task-level spans %d != engine spans %d", spanCount, engineSpans)
 	}
 	if !samePairs(engineRes.Output, manual) {
 		t.Fatalf("task-level result %v differs from engine %v", manual, engineRes.Output)
@@ -179,10 +216,10 @@ func TestExecuteTaskParityWithEngine(t *testing.T) {
 }
 
 func TestExecuteMapTaskValidation(t *testing.T) {
-	if _, err := ExecuteMapTask(wordcount(), 0, 0, nil, NewCounters()); err == nil {
+	if _, _, err := ExecuteMapTask(wordcount(), 0, 0, nil, NewCounters()); err == nil {
 		t.Fatal("want error for zero reduce partitions")
 	}
-	if _, err := ExecuteMapTask(&Job{Name: "x"}, 0, 1, nil, NewCounters()); err == nil {
+	if _, _, err := ExecuteMapTask(&Job{Name: "x"}, 0, 1, nil, NewCounters()); err == nil {
 		t.Fatal("want error for invalid job")
 	}
 }
@@ -195,11 +232,14 @@ func TestExecuteReduceTaskMapOnly(t *testing.T) {
 			return nil
 		},
 	}
-	out, err := ExecuteReduceTask(job, 0, 1, [][]Pair{{{Key: "k", Value: []byte("v")}}}, NewCounters())
+	out, spans, err := ExecuteReduceTask(job, 0, 1, [][]Pair{{{Key: "k", Value: []byte("v")}}}, NewCounters())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(out) != 1 || out[0].Key != "k" {
 		t.Fatalf("map-only reduce = %v", out)
+	}
+	if spans != nil {
+		t.Fatalf("map-only reduce emitted spans: %v", spans)
 	}
 }

@@ -5,6 +5,3 @@ import "os"
 // tiny indirections so test helpers read clearly.
 func osReadFile(path string) ([]byte, error)     { return os.ReadFile(path) }
 func osWriteFile(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
-
-// AtomicAddTest exposes atomic adds for counter tests.
-func AtomicAddTest(p *int64, delta int64) { atomicAddInt64(p, delta) }

@@ -11,11 +11,14 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/dfsio"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 )
 
-// Master coordinates a worker fleet and implements mapreduce.Engine. One
-// job runs at a time (drivers in this repository are sequential anyway);
-// Run blocks until the job finishes or fails permanently.
+// Master coordinates a worker fleet and implements mapreduce.Runner: the
+// same run-and-observe surface as the local Driver, so a pipeline moves
+// from in-process to a cluster by swapping the Runner. One job runs at a
+// time (drivers in this repository are sequential anyway); Run blocks
+// until the job finishes or fails permanently.
 type Master struct {
 	// LeaseTimeout re-queues a task not completed within the lease
 	// (default 60s; tests shrink it to exercise recovery).
@@ -26,8 +29,16 @@ type Master struct {
 	// worker gets a backup attempt; the first completion wins, the loser
 	// is ignored. 0 disables speculation.
 	SpeculativeFactor float64
-	// Log, when non-nil, receives scheduling events.
-	Log func(format string, args ...interface{})
+	// Log, when non-nil, receives scheduling events. Superseded by Events;
+	// kept so existing wiring keeps working (it is wrapped in a LogfSink).
+	Log func(format string, args ...any)
+	// Events, when non-nil, receives scheduler and progress events and
+	// takes precedence over Log.
+	Events obs.Sink
+	// MonitorInterval, when >0 and an event sink is configured, emits
+	// periodic counter snapshots (records/s, shuffle MB/s) while a job
+	// runs.
+	MonitorInterval time.Duration
 
 	lis  net.Listener
 	addr string
@@ -39,8 +50,13 @@ type Master struct {
 	jobSeq     int
 	cur        *jobRun
 	history    []JobRecord
+	jobs       []mapreduce.JobStats
+	traces     []obs.JobTrace
+	total      *mapreduce.Counters
 	closed     bool
 }
+
+var _ mapreduce.Runner = (*Master)(nil)
 
 // JobRecord summarizes one completed job for Master.History.
 type JobRecord struct {
@@ -51,6 +67,12 @@ type JobRecord struct {
 	Wall     time.Duration
 	Failed   bool
 	Counters map[string]int64
+	// Workers is how many distinct workers ran this job's tasks.
+	Workers int
+	// MapDist / ReduceDist summarize per-phase task wall times (median,
+	// max, straggler count) from the worker-reported spans.
+	MapDist    obs.TaskDist
+	ReduceDist obs.TaskDist
 }
 
 type workerInfo struct {
@@ -87,6 +109,7 @@ type jobRun struct {
 	reduces     []taskSlot
 	outputs     [][]mapreduce.Pair
 	counters    *mapreduce.Counters
+	spans       []obs.Span
 	err         error
 	done        bool
 	// completed task durations, for the speculative-execution median.
@@ -106,6 +129,7 @@ func NewMaster(addr string) (*Master, error) {
 		lis:          lis,
 		addr:         lis.Addr().String(),
 		workers:      make(map[int]*workerInfo),
+		total:        mapreduce.NewCounters(),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	srv := rpc.NewServer()
@@ -161,10 +185,20 @@ func (m *Master) WaitWorkers(n int, timeout time.Duration) error {
 	}
 }
 
-func (m *Master) logf(format string, args ...interface{}) {
-	if m.Log != nil {
-		m.Log(format, args...)
+// sink resolves the event destination: Events when set, else the legacy
+// Log wrapped as a sink, else discard.
+func (m *Master) sink() obs.Sink {
+	if m.Events != nil {
+		return m.Events
 	}
+	if m.Log != nil {
+		return obs.LogfSink(m.Log)
+	}
+	return obs.Discard
+}
+
+func (m *Master) logf(format string, args ...any) {
+	m.sink().Event("scheduler", format, args...)
 }
 
 // Run implements mapreduce.Engine: it schedules the job across the
@@ -236,6 +270,10 @@ func (m *Master) run(job *mapreduce.Job, input []mapreduce.Pair, dfsNameNode str
 	}
 	m.cur = run
 	m.logf("job %d %q: %d maps, %d reduces, %d workers", run.id, job.Name, len(splits), nReduce, nWorkers)
+	var mon *obs.Monitor
+	if m.MonitorInterval > 0 && (m.Events != nil || m.Log != nil) {
+		mon = obs.StartMonitor(job.Name, m.MonitorInterval, run.counters.Snapshot, m.sink())
+	}
 	for !run.done && !m.closed {
 		m.cond.Wait()
 	}
@@ -247,6 +285,9 @@ func (m *Master) run(job *mapreduce.Job, input []mapreduce.Pair, dfsNameNode str
 		workers = append(workers, w.addr)
 	}
 	m.mu.Unlock()
+	if mon != nil {
+		mon.Stop()
+	}
 
 	if closed && err == nil && !run.done {
 		return nil, fmt.Errorf("rpcmr: master closed mid-job")
@@ -259,26 +300,76 @@ func (m *Master) run(job *mapreduce.Job, input []mapreduce.Pair, dfsNameNode str
 			c.Close()
 		}
 	}
-	record := JobRecord{
-		ID:       run.id,
-		Name:     run.job.Name,
-		Maps:     len(run.maps),
-		Reduces:  run.nReduce,
-		Wall:     time.Since(start),
-		Failed:   err != nil,
-		Counters: run.counters.Snapshot(),
+	wall := time.Since(start)
+	snap := run.counters.Snapshot()
+	distinct := map[int]bool{}
+	for _, s := range run.spans {
+		distinct[s.Worker] = true
 	}
-	m.mu.Lock()
-	m.history = append(m.history, record)
-	m.mu.Unlock()
-	if err != nil {
-		return nil, err
+	record := JobRecord{
+		ID:         run.id,
+		Name:       run.job.Name,
+		Maps:       len(run.maps),
+		Reduces:    run.nReduce,
+		Wall:       wall,
+		Failed:     err != nil,
+		Counters:   snap,
+		Workers:    len(distinct),
+		MapDist:    obs.DistOf(run.spans, obs.PhaseMap),
+		ReduceDist: obs.DistOf(run.spans, obs.PhaseReduce),
+	}
+	trace := obs.JobTrace{
+		Job: run.job.Name, ID: run.id, Wall: wall,
+		Spans: run.spans, Counters: snap,
 	}
 	var output []mapreduce.Pair
 	for _, ps := range run.outputs {
 		output = append(output, ps...)
 	}
-	return &mapreduce.Result{Output: output, Counters: run.counters, Wall: time.Since(start)}, nil
+	m.mu.Lock()
+	m.history = append(m.history, record)
+	if err == nil {
+		// Runner stats accumulate successful jobs only, matching the
+		// local Driver (which never records a failed run).
+		m.jobs = append(m.jobs, mapreduce.JobStats{
+			Name: run.job.Name, Wall: wall, Counters: snap, Records: len(output),
+		})
+		m.traces = append(m.traces, trace)
+		m.total.Merge(run.counters)
+	}
+	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return &mapreduce.Result{Output: output, Counters: run.counters, Wall: wall, Trace: &trace}, nil
+}
+
+// Jobs returns stats of every successfully completed job, in order.
+func (m *Master) Jobs() []mapreduce.JobStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]mapreduce.JobStats(nil), m.jobs...)
+}
+
+// Traces returns the trace of every successfully completed job, in order.
+func (m *Master) Traces() []obs.JobTrace {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]obs.JobTrace(nil), m.traces...)
+}
+
+// TotalCounter returns the named counter summed over all completed jobs.
+func (m *Master) TotalCounter(name string) int64 { return m.total.Get(name) }
+
+// TotalWall returns the summed wall time of all completed jobs.
+func (m *Master) TotalWall() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t time.Duration
+	for _, j := range m.jobs {
+		t += j.Wall
+	}
+	return t
 }
 
 // History returns records of every job this master has completed, in
@@ -512,6 +603,7 @@ func (r *masterRPC) CompleteTask(args *CompleteArgs, reply *CompleteReply) error
 			run.mapAddr[args.TaskID] = w.addr
 		}
 		mergeCounters(run.counters, args.Counters)
+		run.spans = append(run.spans, args.Spans...)
 	case TaskReduce:
 		s := &run.reduces[args.TaskID]
 		if s.status == taskDone {
@@ -521,6 +613,7 @@ func (r *masterRPC) CompleteTask(args *CompleteArgs, reply *CompleteReply) error
 		s.status = taskDone
 		run.outputs[args.TaskID] = args.Output
 		mergeCounters(run.counters, args.Counters)
+		run.spans = append(run.spans, args.Spans...)
 	default:
 		return fmt.Errorf("rpcmr: bad completion kind %v", args.Kind)
 	}

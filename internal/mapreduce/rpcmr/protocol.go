@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 )
 
 // TaskKind tells a polling worker what to do next.
@@ -92,6 +93,10 @@ type CompleteArgs struct {
 	Output []mapreduce.Pair
 	// Counters is the task's counter snapshot.
 	Counters map[string]int64
+	// Spans carries the task's phase spans (worker-side wall times and
+	// volumes); the master merges them into the job's trace with the
+	// reporting worker attributed on each span.
+	Spans []obs.Span
 	// Err is a non-empty string when the task failed.
 	Err string
 	// FailedMaps lists map tasks whose data could not be fetched; the

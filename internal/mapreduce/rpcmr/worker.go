@@ -10,6 +10,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/dfsio"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 )
 
 // Worker executes tasks for one master. It serves a small RPC surface of
@@ -18,7 +19,7 @@ type Worker struct {
 	// PollInterval is the idle polling period (default 20ms).
 	PollInterval time.Duration
 	// Log, when non-nil, receives task events.
-	Log func(format string, args ...interface{})
+	Log func(format string, args ...any)
 
 	id     int
 	addr   string
@@ -128,7 +129,7 @@ func (w *Worker) dfsClient(nameNode string) (*dfs.Client, error) {
 	return c, nil
 }
 
-func (w *Worker) logf(format string, args ...interface{}) {
+func (w *Worker) logf(format string, args ...any) {
 	if w.Log != nil {
 		w.Log(format, args...)
 	}
@@ -202,7 +203,7 @@ func (w *Worker) runMap(task *GetTaskReply) {
 		}
 	}
 	counters := mapreduce.NewCounters()
-	parts, err := mapreduce.ExecuteMapTask(job, task.TaskID, task.NumReduces, records, counters)
+	parts, spans, err := mapreduce.ExecuteMapTask(job, task.TaskID, task.NumReduces, records, counters)
 	if err != nil {
 		args.Err = err.Error()
 		w.report(args)
@@ -212,6 +213,7 @@ func (w *Worker) runMap(task *GetTaskReply) {
 	w.store[storeKey{jobID: task.JobID, mapTask: task.TaskID}] = parts
 	w.mu.Unlock()
 	args.Counters = counters.Snapshot()
+	args.Spans = w.tagSpans(spans, task.JobID)
 	w.logf("worker %d: map %d of job %d done", w.id, task.TaskID, task.JobID)
 	w.report(args)
 }
@@ -225,6 +227,7 @@ func (w *Worker) runReduce(task *GetTaskReply) {
 		return
 	}
 	job := factory(task.Conf)
+	fetchStart := time.Now()
 	sorted := make([][]mapreduce.Pair, 0, len(task.Maps))
 	var failed []int
 	for _, loc := range task.Maps {
@@ -242,16 +245,35 @@ func (w *Worker) runReduce(task *GetTaskReply) {
 		return
 	}
 	counters := mapreduce.NewCounters()
-	out, err := mapreduce.ExecuteReduceTask(job, task.TaskID, task.NumReduces, sorted, counters)
+	out, spans, err := mapreduce.ExecuteReduceTask(job, task.TaskID, task.NumReduces, sorted, counters)
 	if err != nil {
 		args.Err = err.Error()
 		w.report(args)
 		return
 	}
+	// Fold the shuffle-fetch time into the reduce span (there is no
+	// separate fetch span, so span counts match the local engine).
+	for i := range spans {
+		if spans[i].Phase == obs.PhaseReduce {
+			spans[i].Start = fetchStart
+			spans[i].Wall = time.Since(fetchStart)
+		}
+	}
 	args.Output = out
 	args.Counters = counters.Snapshot()
+	args.Spans = w.tagSpans(spans, task.JobID)
 	w.logf("worker %d: reduce %d of job %d done (%d records)", w.id, task.TaskID, task.JobID, len(out))
 	w.report(args)
+}
+
+// tagSpans stamps this worker's identity and the job id on task spans
+// before they travel back to the master.
+func (w *Worker) tagSpans(spans []obs.Span, jobID int) []obs.Span {
+	for i := range spans {
+		spans[i].Worker = w.id
+		spans[i].JobID = jobID
+	}
+	return spans
 }
 
 // fetch retrieves one map task's partition, from local store when the data

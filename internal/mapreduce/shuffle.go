@@ -31,11 +31,11 @@ func forEachGroup(ps []Pair, fn func(key string, values [][]byte) error) error {
 	return nil
 }
 
-// runCombiner applies a combiner to one partition buffer: sort, group,
-// re-emit. It returns the combined pairs (sorted by construction of the
-// group walk) and the number of input records consumed.
+// runCombiner applies a combiner to one partition buffer already sorted
+// by key: group, re-emit. It returns the combined pairs and the number of
+// input records consumed. Callers sort first (and time that sort
+// separately from the combine, so trace phases don't blur together).
 func runCombiner(ctx *TaskContext, combine ReduceFunc, ps []Pair) ([]Pair, int, error) {
-	sortPairs(ps)
 	out := make([]Pair, 0, len(ps))
 	sink := EmitterFunc(func(key string, value []byte) {
 		out = append(out, Pair{Key: key, Value: value})

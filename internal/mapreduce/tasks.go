@@ -1,23 +1,31 @@
 package mapreduce
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
 
 // Task-level execution, shared by the local engine and the distributed
 // rpcmr engine: a remote worker executes exactly these functions on its
-// shard of the job.
+// shard of the job. Both return the task's trace spans alongside its data
+// so the rpcmr worker can ship them back to the master in CompleteArgs.
 
 // ExecuteMapTask runs job.Map over the records of one input split,
 // applies the combiner (when configured), partitions the output into
-// nReduce buckets, and returns the buckets sorted by key. Shuffle bytes
-// and record counters are accumulated into counters. Spilling is not used
-// at this level; the distributed engine ships partitions whole.
-func ExecuteMapTask(job *Job, taskID, nReduce int, records []Pair, counters *Counters) ([][]Pair, error) {
+// nReduce buckets, and returns the buckets sorted by key plus the task's
+// phase spans. Shuffle bytes and record counters are accumulated into
+// counters. Spilling is not used at this level; the distributed engine
+// ships partitions whole.
+func ExecuteMapTask(job *Job, taskID, nReduce int, records []Pair, counters *Counters) ([][]Pair, []obs.Span, error) {
 	if err := job.validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if nReduce <= 0 {
-		return nil, fmt.Errorf("mapreduce: map task with %d reduce partitions", nReduce)
+		return nil, nil, fmt.Errorf("mapreduce: map task with %d reduce partitions", nReduce)
 	}
+	start := time.Now()
 	ctx := &TaskContext{
 		JobName:    job.Name,
 		TaskID:     taskID,
@@ -35,32 +43,37 @@ func ExecuteMapTask(job *Job, taskID, nReduce int, records []Pair, counters *Cou
 	}
 	for _, rec := range records {
 		if err := job.Map(ctx, rec.Key, rec.Value, em); err != nil {
-			return nil, fmt.Errorf("mapreduce: map task %d of %q: %w", taskID, job.Name, err)
+			return nil, nil, fmt.Errorf("mapreduce: map task %d of %q: %w", taskID, job.Name, err)
 		}
 	}
 	counters.Add(CtrMapInputRecords, int64(len(records)))
 	counters.Add(CtrMapOutputRecords, em.outRecords)
 	out, err := em.close()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out.mem, nil
+	spans := em.taskSpans(start, time.Since(start), int64(len(records)))
+	return out.mem, spans, nil
 }
 
 // ExecuteReduceTask merges the already-sorted partition slices fetched
 // from every map task and runs job.Reduce over each key group, returning
-// the task's output pairs. For a map-only job it concatenates the inputs.
-func ExecuteReduceTask(job *Job, taskID, nReduce int, sorted [][]Pair, counters *Counters) ([]Pair, error) {
+// the task's output pairs and its reduce span. For a map-only job it
+// concatenates the inputs and emits no span, matching the local engine
+// (which skips the reduce phase entirely) so span counts agree across
+// engines.
+func ExecuteReduceTask(job *Job, taskID, nReduce int, sorted [][]Pair, counters *Counters) ([]Pair, []obs.Span, error) {
 	if err := job.validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if job.Reduce == nil {
 		var out []Pair
 		for _, ps := range sorted {
 			out = append(out, ps...)
 		}
-		return out, nil
+		return out, nil, nil
 	}
+	start := time.Now()
 	ctx := &TaskContext{
 		JobName:    job.Name,
 		TaskID:     taskID,
@@ -85,10 +98,14 @@ func ExecuteReduceTask(job *Job, taskID, nReduce int, sorted [][]Pair, counters 
 		return job.Reduce(ctx, key, values, sink)
 	})
 	if err != nil {
-		return nil, fmt.Errorf("mapreduce: reduce task %d of %q: %w", taskID, job.Name, err)
+		return nil, nil, fmt.Errorf("mapreduce: reduce task %d of %q: %w", taskID, job.Name, err)
 	}
 	counters.Add(CtrReduceInputGroups, groups)
 	counters.Add(CtrReduceInputRecords, records)
 	counters.Add(CtrReduceOutputRecords, int64(len(out)))
-	return out, nil
+	span := obs.Span{
+		Job: job.Name, Phase: obs.PhaseReduce, Task: taskID,
+		Start: start, Wall: time.Since(start), Records: records,
+	}
+	return out, []obs.Span{span}, nil
 }

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"time"
+)
+
+// Monitor periodically samples a counter snapshot and emits throughput
+// deltas as "progress" events, so a long-running job shows live
+// records/s and shuffle MB/s instead of only end-of-run totals. The
+// snapshot function must be safe to call from another goroutine (the
+// engines' Counters.Snapshot is).
+type Monitor struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Counter names the monitor reports rates for (kept here so obs does not
+// import the mapreduce package).
+const (
+	ctrMapOutputRecords = "map.output.records"
+	ctrShuffleBytes     = "shuffle.bytes"
+	ctrReduceOutRecords = "reduce.output.records"
+)
+
+// StartMonitor begins sampling snapshot every interval and emitting one
+// progress event per tick until Stop is called. A final event is emitted
+// on Stop so short jobs still produce one snapshot.
+func StartMonitor(job string, interval time.Duration, snapshot func() map[string]int64, sink Sink) *Monitor {
+	m := &Monitor{stop: make(chan struct{}), done: make(chan struct{})}
+	go m.loop(job, interval, snapshot, sink)
+	return m
+}
+
+func (m *Monitor) loop(job string, interval time.Duration, snapshot func() map[string]int64, sink Sink) {
+	defer close(m.done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	prev := snapshot()
+	prevAt := time.Now()
+	emit := func() {
+		cur := snapshot()
+		now := time.Now()
+		dt := now.Sub(prevAt).Seconds()
+		if dt <= 0 {
+			return
+		}
+		dRec := cur[ctrMapOutputRecords] - prev[ctrMapOutputRecords]
+		dBytes := cur[ctrShuffleBytes] - prev[ctrShuffleBytes]
+		sink.Event("progress", "job %s: %d map records (+%.0f rec/s), %.2f MB shuffled (+%.2f MB/s), %d reduce records",
+			job, cur[ctrMapOutputRecords], float64(dRec)/dt,
+			float64(cur[ctrShuffleBytes])/(1<<20), float64(dBytes)/dt/(1<<20),
+			cur[ctrReduceOutRecords])
+		prev, prevAt = cur, now
+	}
+	for {
+		select {
+		case <-m.stop:
+			emit()
+			return
+		case <-ticker.C:
+			emit()
+		}
+	}
+}
+
+// Stop ends the sampling loop after a final snapshot event.
+func (m *Monitor) Stop() {
+	close(m.stop)
+	<-m.done
+}
