@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet race bench experiments examples clean
+.PHONY: all check build test test-short vet race bench bench-hot experiments examples clean
 
 all: check
 
@@ -22,12 +22,26 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# The engines are the concurrency-heavy core; keep them race-clean.
+# The engines are the concurrency-heavy core; keep them race-clean. The
+# kernels package rides along for its intra-partition parallel merge path.
 race:
-	$(GO) test -race ./internal/mapreduce/... ./internal/mapreduce/rpcmr/...
+	$(GO) test -race ./internal/mapreduce/... ./internal/mapreduce/rpcmr/... ./internal/kernels/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Hot-path micro-benchmarks (dense kernels, shuffle sort, group decode)
+# with pinned benchtime/count so runs feed straight into benchstat:
+#
+#	make bench-hot > old.txt ... make bench-hot > new.txt
+#	benchstat old.txt new.txt
+BENCHTIME ?= 1s
+BENCHCOUNT ?= 6
+bench-hot:
+	$(GO) test -bench 'Rho|Delta|Decode' -run xxx -benchmem \
+		-benchtime $(BENCHTIME) -count $(BENCHCOUNT) ./internal/kernels/ ./internal/points/
+	$(GO) test -bench 'Sort|Shuffle' -run xxx -benchmem \
+		-benchtime $(BENCHTIME) -count $(BENCHCOUNT) ./internal/mapreduce/
 
 # Regenerate every table/figure of the paper (several minutes at full scale).
 experiments:

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/mapreduce"
 	"repro/internal/obs"
 )
 
@@ -50,6 +52,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each report as CSV into this directory")
 		htmlOut  = flag.String("html", "", "also write all reports as one HTML page to this file")
 		traceOut = flag.String("trace", "", "write a JSONL job trace (task phase spans) to this file")
+		jsonOut  = flag.String("json", "", "write a per-experiment perf summary (wall, distance computations, shuffle bytes) to this JSON file")
 	)
 	flag.Parse()
 
@@ -60,7 +63,7 @@ func main() {
 		}
 	}
 	var trace *obs.Trace
-	if *traceOut != "" {
+	if *traceOut != "" || *jsonOut != "" {
 		trace = &obs.Trace{}
 		opt.Trace = trace
 	}
@@ -83,17 +86,23 @@ func main() {
 
 	ranAny := false
 	var collected []*experiments.Report
+	var perf []perfEntry
 	for _, e := range exps {
 		if !runAll && !want[e.name] {
 			continue
 		}
 		ranAny = true
+		jobsBefore := 0
+		if trace != nil {
+			jobsBefore = len(trace.Jobs())
+		}
 		start := time.Now()
 		report, err := e.run(opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dpbench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
+		wall := time.Since(start)
 		report.WriteTo(os.Stdout)
 		collected = append(collected, report)
 		if *csvDir != "" {
@@ -102,13 +111,23 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if *jsonOut != "" {
+			perf = append(perf, summarize(e.name, wall, trace.Jobs()[jobsBefore:]))
+		}
 		fmt.Printf("[%s completed in %.1fs]\n\n", e.name, time.Since(start).Seconds())
 	}
 	if !ranAny {
 		fmt.Fprintln(os.Stderr, "dpbench: nothing to run")
 		os.Exit(2)
 	}
-	if trace != nil {
+	if *jsonOut != "" {
+		if err := writePerf(*jsonOut, perf); err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", *jsonOut, len(perf))
+	}
+	if trace != nil && *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
@@ -134,6 +153,43 @@ func main() {
 		f.Close()
 		fmt.Printf("wrote %s\n", *htmlOut)
 	}
+}
+
+// perfEntry is one experiment's row in the -json perf summary. Counters are
+// summed across every MapReduce job the experiment launched.
+type perfEntry struct {
+	Experiment    string  `json:"experiment"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	Jobs          int     `json:"jobs"`
+	DistanceComps int64   `json:"distance_computations"`
+	ShuffleBytes  int64   `json:"shuffle_bytes"`
+	ParallelGroup int64   `json:"parallel_groups"`
+}
+
+// summarize folds the job traces an experiment produced into one perf row.
+func summarize(name string, wall time.Duration, jobs []obs.JobTrace) perfEntry {
+	e := perfEntry{Experiment: name, WallSeconds: wall.Seconds(), Jobs: len(jobs)}
+	for _, j := range jobs {
+		e.DistanceComps += j.Counters[mapreduce.CtrDistanceComputations]
+		e.ShuffleBytes += j.Counters[mapreduce.CtrShuffleBytes]
+		e.ParallelGroup += j.Counters[mapreduce.CtrParallelGroups]
+	}
+	return e
+}
+
+// writePerf stores the perf summary as an indented JSON array.
+func writePerf(path string, perf []perfEntry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(perf); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeCSV stores one report as <dir>/<name>.csv.

@@ -7,7 +7,7 @@ import (
 	"strconv"
 	"time"
 
-	"repro/internal/dp"
+	"repro/internal/kernels"
 	"repro/internal/mapreduce"
 	"repro/internal/points"
 )
@@ -64,6 +64,7 @@ func RunBasicDDP(ds *points.Dataset, cfg BasicConfig) (*Result, error) {
 	conf.SetFloat(confDc, dc)
 	conf.SetInt(confBlocks, nBlocks)
 	setKernelConf(conf, cfg.Kernel)
+	setParallelConf(conf, &cfg.Config)
 
 	// Jobs 1+2: exact ρ.
 	partials, err := drv.Run(withReduces(BasicRhoJob(conf), cfg.NumReduces), input)
@@ -164,54 +165,30 @@ func BasicRhoJob(conf mapreduce.Conf) *mapreduce.Job {
 				return fmt.Errorf("core: bad block key %q", key)
 			}
 			kern := kernelFromConf(ctx.Conf)
-			var local []points.Point
-			var visitors []points.Point
-			for _, v := range values {
-				k, payload, err := untagBlock(v)
-				if err != nil {
-					return err
-				}
-				p, _, err := points.DecodePoint(payload)
-				if err != nil {
-					return err
-				}
-				if k == l {
-					local = append(local, p)
-				} else {
-					visitors = append(visitors, p)
-				}
+			par := parallelFromConf(ctx.Conf)
+			m := points.GetMatrix()
+			defer points.PutMatrix(m)
+			nLocal, err := decodeBlockGroup(m, values, l, (*points.Matrix).AppendPoint)
+			if err != nil {
+				return err
 			}
-			localRho := make([]float64, len(local))
-			visitorRho := make([]float64, len(visitors))
-			var nd int64
-			// Diagonal pair (l, l): upper triangle.
-			for i := range local {
-				for j := i + 1; j < len(local); j++ {
-					nd++
-					if w := kern.weight(points.SqDist(local[i].Pos, local[j].Pos)); w != 0 {
-						localRho[i] += w
-						localRho[j] += w
-					}
-				}
+			n := m.N()
+			if par.Enabled(n) {
+				ctx.Counters.Cell(mapreduce.CtrParallelGroups).Add(1)
 			}
-			// Cross pairs (k, l) for every visiting block, against local.
-			for vi := range visitors {
-				for li := range local {
-					nd++
-					if w := kern.weight(points.SqDist(visitors[vi].Pos, local[li].Pos)); w != 0 {
-						visitorRho[vi] += w
-						localRho[li] += w
-					}
-				}
-			}
+			rho := make([]float64, n)
+			// Diagonal pair (l, l) over local rows [0, nLocal), then cross
+			// pairs visitors × local — the same evaluation order as the
+			// scalar loops, so partials stay bit-identical.
+			nd := kernels.RhoAccumulateAuto(m, 0, nLocal, kern, rho, par)
+			nd += kernels.RhoCross(m, nLocal, n, 0, nLocal, kern, rho, true)
 			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
-			for i, p := range local {
-				out.Emit(idKey(p.ID), points.EncodeRhoValue(points.RhoValue{ID: p.ID, Rho: localRho[i]}))
-			}
-			for i, p := range visitors {
-				if visitorRho[i] > 0 {
-					out.Emit(idKey(p.ID), points.EncodeRhoValue(points.RhoValue{ID: p.ID, Rho: visitorRho[i]}))
+			for i := 0; i < n; i++ {
+				if i >= nLocal && rho[i] == 0 {
+					continue
 				}
+				id := m.ID(i)
+				out.Emit(idKey(id), points.EncodeRhoValue(points.RhoValue{ID: id, Rho: rho[i]}))
 			}
 			return nil
 		},
@@ -282,111 +259,75 @@ func BasicDeltaJob(conf mapreduce.Conf) *mapreduce.Job {
 			if err != nil {
 				return fmt.Errorf("core: bad block key %q", key)
 			}
-			var local, visitors []points.RhoPoint
-			for _, v := range values {
-				k, payload, err := untagBlock(v)
-				if err != nil {
-					return err
-				}
-				rp, _, err := points.DecodeRhoPoint(payload)
-				if err != nil {
-					return err
-				}
-				if k == l {
-					local = append(local, rp)
-				} else {
-					visitors = append(visitors, rp)
-				}
+			par := parallelFromConf(ctx.Conf)
+			m := points.GetMatrix()
+			defer points.PutMatrix(m)
+			nLocal, err := decodeBlockGroup(m, values, l, (*points.Matrix).AppendRhoPoint)
+			if err != nil {
+				return err
 			}
-			st := newDeltaState(len(local) + len(visitors))
-			var nd int64
-			// Diagonal pair: all ordered directions within local.
-			for i := range local {
-				for j := i + 1; j < len(local); j++ {
-					d2 := points.SqDist(local[i].Pos, local[j].Pos)
-					nd++
-					st.observe(local[i], local[j], d2)
-				}
+			n := m.N()
+			// The map-based state only emitted points that participated in
+			// at least one pair. Visitors only ever pair against local rows,
+			// so no local rows means no pairs at all, and a lone local point
+			// without visitors pairs with nothing.
+			if nLocal == 0 || n < 2 {
+				return nil
 			}
-			// Cross pairs: every visitor against every local point.
-			for vi := range visitors {
-				for li := range local {
-					d2 := points.SqDist(visitors[vi].Pos, local[li].Pos)
-					nd++
-					st.observe(visitors[vi], local[li], d2)
-				}
+			if par.Enabled(n) {
+				ctx.Counters.Cell(mapreduce.CtrParallelGroups).Add(1)
 			}
+			acc := kernels.NewDeltaAcc(n, true)
+			// Diagonal pair over local rows, then visitors × local — the
+			// same evaluation order as the scalar loops.
+			nd := kernels.DeltaArgminAuto(m, 0, nLocal, acc, par)
+			nd += kernels.DeltaCross(m, nLocal, n, 0, nLocal, acc)
 			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
-			st.emit(out)
+			for i := 0; i < n; i++ {
+				id := m.ID(i)
+				dv := points.DeltaValue{ID: id}
+				if acc.Up[i] >= 0 {
+					dv.Delta = math.Sqrt(acc.Best2[i])
+					dv.Upslope = m.ID(int(acc.Up[i]))
+				} else {
+					dv.Delta = math.Sqrt(acc.Max2[i])
+					dv.Upslope = -1
+				}
+				out.Emit(idKey(id), points.EncodeDeltaValue(dv))
+			}
 			return nil
 		},
 	}
 }
 
-// deltaState accumulates per-point best candidates and fallback max
-// distances during a δ reducer's pass over pairs.
-type deltaState struct {
-	best map[int32]*deltaCell
-}
-
-type deltaCell struct {
-	rho     float64
-	delta2  float64 // squared candidate distance
-	upslope int32
-	max2    float64 // squared max distance seen (fallback)
-}
-
-func newDeltaState(capacity int) *deltaState {
-	return &deltaState{best: make(map[int32]*deltaCell, capacity)}
-}
-
-func (s *deltaState) cell(p points.RhoPoint) *deltaCell {
-	c, ok := s.best[p.ID]
-	if !ok {
-		c = &deltaCell{rho: p.Rho, delta2: math.Inf(1), upslope: -1}
-		s.best[p.ID] = c
-	}
-	return c
-}
-
-// observe processes one evaluated pair (a, b) with squared distance d2,
-// updating both points' candidate and fallback state under the density
-// total order.
-func (s *deltaState) observe(a, b points.RhoPoint, d2 float64) {
-	ca, cb := s.cell(a), s.cell(b)
-	if d2 > ca.max2 {
-		ca.max2 = d2
-	}
-	if d2 > cb.max2 {
-		cb.max2 = d2
-	}
-	if dp.DenserVals(b.Rho, a.Rho, b.ID, a.ID) {
-		if d2 < ca.delta2 {
-			ca.delta2 = d2
-			ca.upslope = b.ID
+// decodeBlockGroup batch-decodes one blocked reducer group into m with the
+// home block l's rows first and visitors after, so the pairwise kernels see
+// the diagonal range [0, nLocal) and the visitor range [nLocal, N()).
+// appendRow is the per-record Matrix decoder (AppendPoint or AppendRhoPoint).
+func decodeBlockGroup(m *points.Matrix, values [][]byte, l int,
+	appendRow func(*points.Matrix, []byte) ([]byte, error)) (nLocal int, err error) {
+	for pass := 0; pass < 2; pass++ {
+		for _, v := range values {
+			k, payload, err := untagBlock(v)
+			if err != nil {
+				return 0, err
+			}
+			if (k == l) != (pass == 0) {
+				continue
+			}
+			rest, err := appendRow(m, payload)
+			if err != nil {
+				return 0, err
+			}
+			if len(rest) != 0 {
+				return 0, fmt.Errorf("core: %d trailing bytes after block record", len(rest))
+			}
 		}
-	} else {
-		if d2 < cb.delta2 {
-			cb.delta2 = d2
-			cb.upslope = a.ID
+		if pass == 0 {
+			nLocal = m.N()
 		}
 	}
-}
-
-// emit writes one DeltaValue per observed point: a real candidate when one
-// exists, otherwise a fallback with the local max distance and Upslope −1.
-func (s *deltaState) emit(out mapreduce.Emitter) {
-	for id, c := range s.best {
-		dv := points.DeltaValue{ID: id}
-		if c.upslope >= 0 {
-			dv.Delta = math.Sqrt(c.delta2)
-			dv.Upslope = c.upslope
-		} else {
-			dv.Delta = math.Sqrt(c.max2)
-			dv.Upslope = -1
-		}
-		out.Emit(idKey(id), points.EncodeDeltaValue(dv))
-	}
+	return nLocal, nil
 }
 
 // DeltaAggJob folds δ partials per point: the minimum over real candidates

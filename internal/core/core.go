@@ -166,6 +166,17 @@ type Config struct {
 	// Gaussian variant of the original DP paper is supported as an
 	// extension — see kernel.go).
 	Kernel dp.Kernel
+	// ParallelThreshold enables intra-partition parallelism: reducer
+	// groups of at least this many points split their pairwise tile grid
+	// across a bounded worker pool, so one skewed LSH partition (the
+	// Figure 12 straggler effect) no longer pins its reduce task to a
+	// single core. 0 (the default) keeps every group on the serial,
+	// bit-identical kernels. δ results and cutoff-kernel ρ stay
+	// bit-identical either way; Gaussian ρ may differ in the last ulps.
+	ParallelThreshold int
+	// ParallelWorkers bounds the per-group worker pool; <=0 means
+	// GOMAXPROCS (capped at 16). Only meaningful with ParallelThreshold.
+	ParallelWorkers int
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
 	// Trace, when non-nil, collects every job's structured trace; wire it

@@ -79,35 +79,40 @@ func LSHHaloJob(conf mapreduce.Conf) *mapreduce.Job {
 		Reduce: func(ctx *mapreduce.TaskContext, _ string, values [][]byte, out mapreduce.Emitter) error {
 			dc := ctx.Conf.GetFloat(confDc, 0)
 			dc2 := dc * dc
-			type lp struct {
-				rp    points.RhoPoint
-				label int32
-			}
-			pts := make([]lp, 0, len(values))
+			// Batch-decode the partition into one SoA matrix (labels in a
+			// parallel column) so the pairwise scan walks flat storage
+			// instead of per-record heap Vectors.
+			m := points.GetMatrix()
+			defer points.PutMatrix(m)
+			labels := make([]int32, 0, len(values))
 			for _, v := range values {
-				rp, label, err := decodeLabeled(v)
+				rest, err := m.AppendRhoPoint(v)
 				if err != nil {
 					return err
 				}
-				pts = append(pts, lp{rp: rp, label: label})
+				if len(rest) != 4 {
+					return fmt.Errorf("core: labeled point tail is %d bytes, want 4", len(rest))
+				}
+				labels = append(labels, int32(binary.LittleEndian.Uint32(rest)))
 			}
 			border := map[int32]float64{}
 			var nd int64
-			for i := range pts {
-				for j := i + 1; j < len(pts); j++ {
-					if pts[i].label == pts[j].label {
+			for i := 0; i < m.N(); i++ {
+				ri := m.Row(i)
+				for j := i + 1; j < m.N(); j++ {
+					if labels[i] == labels[j] {
 						continue
 					}
 					nd++
-					if points.SqDist(pts[i].rp.Pos, pts[j].rp.Pos) >= dc2 {
+					if points.SqDist(ri, m.Row(j)) >= dc2 {
 						continue
 					}
-					avg := (pts[i].rp.Rho + pts[j].rp.Rho) / 2
-					if avg > border[pts[i].label] {
-						border[pts[i].label] = avg
+					avg := (m.Rho(i) + m.Rho(j)) / 2
+					if avg > border[labels[i]] {
+						border[labels[i]] = avg
 					}
-					if avg > border[pts[j].label] {
-						border[pts[j].label] = avg
+					if avg > border[labels[j]] {
+						border[labels[j]] = avg
 					}
 				}
 			}

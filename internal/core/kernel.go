@@ -1,9 +1,8 @@
 package core
 
 import (
-	"math"
-
 	"repro/internal/dp"
+	"repro/internal/kernels"
 	"repro/internal/mapreduce"
 )
 
@@ -14,21 +13,22 @@ import (
 // and additive, so Basic-DDP's partial sums stay exact and LSH-DDP's local
 // estimates remain underestimates — Theorem 1's max aggregation stays
 // valid.
+//
+// The pairwise evaluation itself lives in internal/kernels; this file only
+// moves the kernel choice and the intra-partition parallelism knobs through
+// job Conf so distributed workers rebuild them from (name, conf) alone.
 
-const confKernel = "ddp.kernel"
+const (
+	confKernel       = "ddp.kernel"
+	confParThreshold = "ddp.parallel.threshold"
+	confParWorkers   = "ddp.parallel.workers"
+)
 
-// densityKernel evaluates one pair's contribution to ρ from its squared
-// distance.
-type densityKernel struct {
-	gaussian bool
-	dc2      float64
-}
-
-func kernelFromConf(conf mapreduce.Conf) densityKernel {
+func kernelFromConf(conf mapreduce.Conf) kernels.Kernel {
 	dc := conf.GetFloat(confDc, 0)
-	return densityKernel{
-		gaussian: conf.GetInt(confKernel, int(dp.KernelCutoff)) == int(dp.KernelGaussian),
-		dc2:      dc * dc,
+	return kernels.Kernel{
+		Gaussian: conf.GetInt(confKernel, int(dp.KernelCutoff)) == int(dp.KernelGaussian),
+		Dc2:      dc * dc,
 	}
 }
 
@@ -36,14 +36,15 @@ func setKernelConf(conf mapreduce.Conf, k dp.Kernel) {
 	conf.SetInt(confKernel, int(k))
 }
 
-// weight returns the ρ contribution of a pair at squared distance d2:
-// 1/0 under the cutoff kernel, exp(−d²/d_c²) under the Gaussian kernel.
-func (k densityKernel) weight(d2 float64) float64 {
-	if k.gaussian {
-		return math.Exp(-d2 / k.dc2)
+// setParallelConf publishes the intra-partition parallelism knobs of cfg.
+func setParallelConf(conf mapreduce.Conf, cfg *Config) {
+	conf.SetInt(confParThreshold, cfg.ParallelThreshold)
+	conf.SetInt(confParWorkers, cfg.ParallelWorkers)
+}
+
+func parallelFromConf(conf mapreduce.Conf) kernels.Parallel {
+	return kernels.Parallel{
+		Threshold: conf.GetInt(confParThreshold, 0),
+		Workers:   conf.GetInt(confParWorkers, 0),
 	}
-	if d2 < k.dc2 {
-		return 1
-	}
-	return 0
 }

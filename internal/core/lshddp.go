@@ -6,7 +6,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/dp"
+	"repro/internal/kernels"
 	"repro/internal/lsh"
 	"repro/internal/mapreduce"
 	"repro/internal/points"
@@ -108,6 +108,7 @@ func RunLSHDDP(ds *points.Dataset, cfg LSHConfig) (*Result, error) {
 	conf.SetBool(confAggMean, cfg.AggregateMean)
 	conf.SetInt(confMaxPart, cfg.MaxPartition)
 	setKernelConf(conf, cfg.Kernel)
+	setParallelConf(conf, &cfg.Config)
 
 	// Jobs 1+2: approximate ρ̂.
 	partials, err := drv.Run(withReduces(LSHRhoJob(conf.Clone()), cfg.NumReduces), input)
@@ -199,30 +200,24 @@ func LSHRhoJob(conf mapreduce.Conf) *mapreduce.Job {
 		},
 		Reduce: func(ctx *mapreduce.TaskContext, _ string, values [][]byte, out mapreduce.Emitter) error {
 			kern := kernelFromConf(ctx.Conf)
-			pts := make([]points.Point, 0, len(values))
-			for _, v := range values {
-				p, _, err := points.DecodePoint(v)
-				if err != nil {
-					return err
-				}
-				pts = append(pts, p)
+			par := parallelFromConf(ctx.Conf)
+			m := points.GetMatrix()
+			defer points.PutMatrix(m)
+			if err := points.DecodePointsInto(m, values); err != nil {
+				return err
 			}
-			rho := make([]float64, len(pts))
+			if par.Enabled(m.N()) {
+				ctx.Counters.Cell(mapreduce.CtrParallelGroups).Add(1)
+			}
+			rho := make([]float64, m.N())
 			var nd int64
-			for _, ch := range chunks(len(pts), ctx.Conf.GetInt(confMaxPart, 0)) {
-				for i := ch.Lo; i < ch.Hi; i++ {
-					for j := i + 1; j < ch.Hi; j++ {
-						nd++
-						if w := kern.weight(points.SqDist(pts[i].Pos, pts[j].Pos)); w != 0 {
-							rho[i] += w
-							rho[j] += w
-						}
-					}
-				}
+			for _, ch := range chunks(m.N(), ctx.Conf.GetInt(confMaxPart, 0)) {
+				nd += kernels.RhoAccumulateAuto(m, ch.Lo, ch.Hi, kern, rho, par)
 			}
 			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
-			for i, p := range pts {
-				out.Emit(idKey(p.ID), points.EncodeRhoValue(points.RhoValue{ID: p.ID, Rho: rho[i]}))
+			for i := 0; i < m.N(); i++ {
+				id := m.ID(i)
+				out.Emit(idKey(id), points.EncodeRhoValue(points.RhoValue{ID: id, Rho: rho[i]}))
 			}
 			return nil
 		},
@@ -289,48 +284,29 @@ func LSHDeltaJob(conf mapreduce.Conf) *mapreduce.Job {
 			return nil
 		},
 		Reduce: func(ctx *mapreduce.TaskContext, _ string, values [][]byte, out mapreduce.Emitter) error {
-			pts := make([]points.RhoPoint, 0, len(values))
-			for _, v := range values {
-				rp, _, err := points.DecodeRhoPoint(v)
-				if err != nil {
-					return err
-				}
-				pts = append(pts, rp)
+			par := parallelFromConf(ctx.Conf)
+			m := points.GetMatrix()
+			defer points.PutMatrix(m)
+			if err := points.DecodeRhoPointsInto(m, values); err != nil {
+				return err
 			}
-			best2 := make([]float64, len(pts))
-			up := make([]int32, len(pts))
-			for i := range pts {
-				best2[i] = math.Inf(1)
-				up[i] = -1
+			if par.Enabled(m.N()) {
+				ctx.Counters.Cell(mapreduce.CtrParallelGroups).Add(1)
 			}
+			acc := kernels.NewDeltaAcc(m.N(), false)
 			var nd int64
-			for _, ch := range chunks(len(pts), ctx.Conf.GetInt(confMaxPart, 0)) {
-				for i := ch.Lo; i < ch.Hi; i++ {
-					for j := i + 1; j < ch.Hi; j++ {
-						d2 := points.SqDist(pts[i].Pos, pts[j].Pos)
-						nd++
-						if dp.DenserVals(pts[j].Rho, pts[i].Rho, pts[j].ID, pts[i].ID) {
-							if d2 < best2[i] {
-								best2[i] = d2
-								up[i] = pts[j].ID
-							}
-						} else {
-							if d2 < best2[j] {
-								best2[j] = d2
-								up[j] = pts[i].ID
-							}
-						}
-					}
-				}
+			for _, ch := range chunks(m.N(), ctx.Conf.GetInt(confMaxPart, 0)) {
+				nd += kernels.DeltaArgminAuto(m, ch.Lo, ch.Hi, acc, par)
 			}
 			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
-			for i, p := range pts {
-				dv := points.DeltaValue{ID: p.ID, Delta: math.Inf(1), Upslope: -1}
-				if up[i] >= 0 {
-					dv.Delta = math.Sqrt(best2[i])
-					dv.Upslope = up[i]
+			for i := 0; i < m.N(); i++ {
+				id := m.ID(i)
+				dv := points.DeltaValue{ID: id, Delta: math.Inf(1), Upslope: -1}
+				if acc.Up[i] >= 0 {
+					dv.Delta = math.Sqrt(acc.Best2[i])
+					dv.Upslope = m.ID(int(acc.Up[i]))
 				}
-				out.Emit(idKey(p.ID), points.EncodeDeltaValue(dv))
+				out.Emit(idKey(id), points.EncodeDeltaValue(dv))
 			}
 			return nil
 		},

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/kernels"
 	"repro/internal/mapreduce"
 	"repro/internal/points"
 )
@@ -62,9 +63,20 @@ const (
 )
 
 const (
-	confDc     = "eddpc.dc"
-	confPivots = "eddpc.pivots"
+	confDc           = "eddpc.dc"
+	confPivots       = "eddpc.pivots"
+	confParThreshold = "eddpc.parallel.threshold"
+	confParWorkers   = "eddpc.parallel.workers"
 )
+
+// parallelFromConf rebuilds the intra-partition parallelism knobs carried
+// in cfg.Config (core.Config) — the zero value keeps the serial kernels.
+func parallelFromConf(conf mapreduce.Conf) kernels.Parallel {
+	return kernels.Parallel{
+		Threshold: conf.GetInt(confParThreshold, 0),
+		Workers:   conf.GetInt(confParWorkers, 0),
+	}
+}
 
 // Run executes the EDDPC pipeline and returns exact DP results.
 func Run(ds *points.Dataset, cfg Config) (*core.Result, error) {
@@ -93,6 +105,8 @@ func Run(ds *points.Dataset, cfg Config) (*core.Result, error) {
 	conf := mapreduce.Conf{}
 	conf.SetFloat(confDc, dc)
 	conf[confPivots] = encodePivots(pivots)
+	conf.SetInt(confParThreshold, cfg.ParallelThreshold)
+	conf.SetInt(confParWorkers, cfg.ParallelWorkers)
 
 	// Job 1: exact ρ via boundary replication. No aggregation needed: each
 	// point's home cell sees every d_c-neighbour.

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/dp"
+	"repro/internal/kernels"
 	"repro/internal/mapreduce"
 	"repro/internal/points"
 )
@@ -47,6 +48,35 @@ func untag(v []byte) (byte, []byte, error) {
 	return v[0], v[1:], nil
 }
 
+// decodeTaggedGroup batch-decodes a tag-dispatched reducer group of point
+// records into m, rows carrying firstTag first and the rest after, so the
+// pairwise kernels see the home range [0, nFirst) and the visitor range
+// [nFirst, N()). Returns the number of first-tag rows.
+func decodeTaggedGroup(m *points.Matrix, values [][]byte, firstTag byte) (nFirst int, err error) {
+	for pass := 0; pass < 2; pass++ {
+		for _, v := range values {
+			tag, payload, err := untag(v)
+			if err != nil {
+				return 0, err
+			}
+			if (tag == firstTag) != (pass == 0) {
+				continue
+			}
+			rest, err := m.AppendPoint(payload)
+			if err != nil {
+				return 0, err
+			}
+			if len(rest) != 0 {
+				return 0, fmt.Errorf("eddpc: %d trailing bytes after point", len(rest))
+			}
+		}
+		if pass == 0 {
+			nFirst = m.N()
+		}
+	}
+	return nFirst, nil
+}
+
 // RhoJob computes exact ρ in a single job. Map assigns each point to its
 // home Voronoi cell and replicates it into every cell whose bisector lower
 // bound is within d_c; the reducer counts, for each home point, its
@@ -80,43 +110,29 @@ func RhoJob(conf mapreduce.Conf) *mapreduce.Job {
 		},
 		Reduce: func(ctx *mapreduce.TaskContext, _ string, values [][]byte, out mapreduce.Emitter) error {
 			dc := ctx.Conf.GetFloat(confDc, 0)
-			dc2 := dc * dc
-			var home, visitors []points.Point
-			for _, v := range values {
-				tag, payload, err := untag(v)
-				if err != nil {
-					return err
-				}
-				p, _, err := points.DecodePoint(payload)
-				if err != nil {
-					return err
-				}
-				if tag == tagHome {
-					home = append(home, p)
-				} else {
-					visitors = append(visitors, p)
-				}
+			kern := kernels.Kernel{Dc2: dc * dc}
+			par := parallelFromConf(ctx.Conf)
+			m := points.GetMatrix()
+			defer points.PutMatrix(m)
+			nHome, err := decodeTaggedGroup(m, values, tagHome)
+			if err != nil {
+				return err
 			}
-			rho := make([]float64, len(home))
-			var nd int64
-			for i := range home {
-				for j := i + 1; j < len(home); j++ {
-					nd++
-					if points.SqDist(home[i].Pos, home[j].Pos) < dc2 {
-						rho[i]++
-						rho[j]++
-					}
-				}
-				for v := range visitors {
-					nd++
-					if points.SqDist(home[i].Pos, visitors[v].Pos) < dc2 {
-						rho[i]++
-					}
-				}
+			n := m.N()
+			if par.Enabled(n) {
+				ctx.Counters.Cell(mapreduce.CtrParallelGroups).Add(1)
 			}
+			// Home-home pairs count both sides; home-visitor pairs count the
+			// home side only (the visitor's own cell owns its count). The
+			// cutoff counts are integer sums, so splitting the interleaved
+			// scalar loop into the two kernel passes is exact.
+			rho := make([]float64, n)
+			nd := kernels.RhoAccumulateAuto(m, 0, nHome, kern, rho, par)
+			nd += kernels.RhoCross(m, 0, nHome, nHome, n, kern, rho, false)
 			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
-			for i, p := range home {
-				out.Emit(idKey(p.ID), points.EncodeRhoValue(points.RhoValue{ID: p.ID, Rho: rho[i]}))
+			for i := 0; i < nHome; i++ {
+				id := m.ID(i)
+				out.Emit(idKey(id), points.EncodeRhoValue(points.RhoValue{ID: id, Rho: rho[i]}))
 			}
 			return nil
 		},
@@ -146,44 +162,26 @@ func DeltaLocalJob(conf mapreduce.Conf) *mapreduce.Job {
 			return nil
 		},
 		Reduce: func(ctx *mapreduce.TaskContext, _ string, values [][]byte, out mapreduce.Emitter) error {
-			pts := make([]points.RhoPoint, 0, len(values))
-			for _, v := range values {
-				rp, _, err := points.DecodeRhoPoint(v)
-				if err != nil {
-					return err
-				}
-				pts = append(pts, rp)
+			par := parallelFromConf(ctx.Conf)
+			m := points.GetMatrix()
+			defer points.PutMatrix(m)
+			if err := points.DecodeRhoPointsInto(m, values); err != nil {
+				return err
 			}
-			best2 := make([]float64, len(pts))
-			up := make([]int32, len(pts))
-			for i := range pts {
-				best2[i] = math.Inf(1)
-				up[i] = -1
+			if par.Enabled(m.N()) {
+				ctx.Counters.Cell(mapreduce.CtrParallelGroups).Add(1)
 			}
-			var nd int64
-			for i := range pts {
-				for j := i + 1; j < len(pts); j++ {
-					d2 := points.SqDist(pts[i].Pos, pts[j].Pos)
-					nd++
-					if dp.DenserVals(pts[j].Rho, pts[i].Rho, pts[j].ID, pts[i].ID) {
-						if d2 < best2[i] {
-							best2[i] = d2
-							up[i] = pts[j].ID
-						}
-					} else if d2 < best2[j] {
-						best2[j] = d2
-						up[j] = pts[i].ID
-					}
-				}
-			}
+			acc := kernels.NewDeltaAcc(m.N(), false)
+			nd := kernels.DeltaArgminAuto(m, 0, m.N(), acc, par)
 			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
-			for i, p := range pts {
-				dv := points.DeltaValue{ID: p.ID, Delta: math.Inf(1), Upslope: -1}
-				if up[i] >= 0 {
-					dv.Delta = math.Sqrt(best2[i])
-					dv.Upslope = up[i]
+			for i := 0; i < m.N(); i++ {
+				id := m.ID(i)
+				dv := points.DeltaValue{ID: id, Delta: math.Inf(1), Upslope: -1}
+				if acc.Up[i] >= 0 {
+					dv.Delta = math.Sqrt(acc.Best2[i])
+					dv.Upslope = m.ID(int(acc.Up[i]))
 				}
-				out.Emit(idKey(p.ID), points.EncodeDeltaValue(dv))
+				out.Emit(idKey(id), points.EncodeDeltaValue(dv))
 			}
 			return nil
 		},
@@ -241,7 +239,10 @@ func DeltaRefineJob(conf mapreduce.Conf) *mapreduce.Job {
 			return nil
 		},
 		Reduce: func(ctx *mapreduce.TaskContext, _ string, values [][]byte, out mapreduce.Emitter) error {
-			var data []points.RhoPoint
+			// Home points land in one SoA matrix; queries keep their scalar
+			// decode (they carry the δ_ub tail and are scanned once each).
+			m := points.GetMatrix()
+			defer points.PutMatrix(m)
 			type query struct {
 				rp points.RhoPoint
 				ub float64
@@ -254,11 +255,13 @@ func DeltaRefineJob(conf mapreduce.Conf) *mapreduce.Job {
 				}
 				switch tag {
 				case tagData:
-					rp, _, err := points.DecodeRhoPoint(payload)
+					rest, err := m.AppendRhoPoint(payload)
 					if err != nil {
 						return err
 					}
-					data = append(data, rp)
+					if len(rest) != 0 {
+						return fmt.Errorf("eddpc: %d trailing bytes after data point", len(rest))
+					}
 				case tagQuery:
 					rp, ub, _, err := decodeQuery(payload)
 					if err != nil {
@@ -269,6 +272,7 @@ func DeltaRefineJob(conf mapreduce.Conf) *mapreduce.Job {
 					return fmt.Errorf("eddpc: unknown tag %d", tag)
 				}
 			}
+			rhos, ids := m.Rhos(), m.IDs()
 			var nd int64
 			for _, q := range queries {
 				best2 := q.ub * q.ub
@@ -276,15 +280,15 @@ func DeltaRefineJob(conf mapreduce.Conf) *mapreduce.Job {
 					best2 = math.Inf(1)
 				}
 				var bestUp int32 = -1
-				for _, d := range data {
-					if !dp.DenserVals(d.Rho, q.rp.Rho, d.ID, q.rp.ID) {
+				for di := 0; di < m.N(); di++ {
+					if !dp.DenserVals(rhos[di], q.rp.Rho, ids[di], q.rp.ID) {
 						continue
 					}
-					d2 := points.SqDist(q.rp.Pos, d.Pos)
+					d2 := points.SqDist(q.rp.Pos, m.Row(di))
 					nd++
 					if d2 < best2 {
 						best2 = d2
-						bestUp = d.ID
+						bestUp = ids[di]
 					}
 				}
 				if bestUp >= 0 {

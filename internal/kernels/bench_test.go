@@ -1,0 +1,156 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/points"
+)
+
+// The benchmarks below carry the PR's headline numbers (BENCH_PR2.json):
+// tiled kernels vs the naive reducer loops they replaced, the parallel path
+// on a skew-sized group, and the matrix group decode vs per-record scalar
+// decoding. Run with:
+//
+//	go test -bench 'Rho|Delta' -run xxx -benchmem ./internal/kernels/
+//
+// or `make bench` for pinned benchtime/count suitable for benchstat.
+
+const (
+	benchN   = 4096
+	benchDim = 2
+)
+
+func benchKernel() Kernel { return Kernel{Dc2: 9.0} }
+
+func BenchmarkRhoKernel(b *testing.B) {
+	m := randMatrix(b, benchN, benchDim, 99)
+	k := benchKernel()
+	rho := make([]float64, benchN)
+
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			clear(rho)
+			naiveRho(m, 0, benchN, k, rho)
+		}
+	})
+	b.Run("tiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			clear(rho)
+			RhoAccumulate(m, 0, benchN, k, rho)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		par := Parallel{Threshold: 1, Workers: 4}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			clear(rho)
+			RhoAccumulateAuto(m, 0, benchN, k, rho, par)
+		}
+	})
+}
+
+func BenchmarkRhoKernelGaussian(b *testing.B) {
+	m := randMatrix(b, benchN, benchDim, 99)
+	k := Kernel{Gaussian: true, Dc2: 9.0}
+	rho := make([]float64, benchN)
+
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			clear(rho)
+			naiveRho(m, 0, benchN, k, rho)
+		}
+	})
+	b.Run("tiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			clear(rho)
+			RhoAccumulate(m, 0, benchN, k, rho)
+		}
+	})
+}
+
+func BenchmarkDeltaKernel(b *testing.B) {
+	m := randMatrix(b, benchN, benchDim, 101)
+
+	b.Run("naive", func(b *testing.B) {
+		acc := NewDeltaAcc(benchN, true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			acc.Reset(benchN, true)
+			naiveDelta(m, 0, benchN, acc)
+		}
+	})
+	b.Run("tiled", func(b *testing.B) {
+		acc := NewDeltaAcc(benchN, true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			acc.Reset(benchN, true)
+			DeltaArgmin(m, 0, benchN, acc)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		par := Parallel{Threshold: 1, Workers: 4}
+		acc := NewDeltaAcc(benchN, true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			acc.Reset(benchN, true)
+			DeltaArgminAuto(m, 0, benchN, acc, par)
+		}
+	})
+}
+
+// BenchmarkRhoGroupDecode measures the full reducer-group hot path — decode
+// every wire record, then accumulate ρ — the way LSHRhoJob sees it. The
+// scalar sub is the pre-PR shape (one RhoPoint + Vector allocation per
+// record); the matrix sub batch-decodes into a pooled SoA matrix.
+func BenchmarkRhoGroupDecode(b *testing.B) {
+	const n = 512
+	src := randMatrix(b, n, benchDim, 77)
+	values := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		values[i] = points.AppendRhoPoint(nil, points.RhoPoint{
+			Point: points.Point{ID: src.ID(i), Pos: append(points.Vector(nil), src.Row(i)...)},
+		})
+	}
+	k := benchKernel()
+
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for it := 0; it < b.N; it++ {
+			pts := make([]points.RhoPoint, 0, len(values))
+			for _, v := range values {
+				rp, _, err := points.DecodeRhoPoint(v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pts = append(pts, rp)
+			}
+			var nd int64
+			for i := 0; i < len(pts); i++ {
+				for j := i + 1; j < len(pts); j++ {
+					d2 := points.SqDist(pts[i].Pos, pts[j].Pos)
+					nd++
+					if w := k.Weight(d2); w != 0 {
+						pts[i].Rho += w
+						pts[j].Rho += w
+					}
+				}
+			}
+			_ = nd
+		}
+	})
+	b.Run("matrix", func(b *testing.B) {
+		rho := make([]float64, n)
+		b.ReportAllocs()
+		for it := 0; it < b.N; it++ {
+			m := points.GetMatrix()
+			if err := points.DecodeRhoPointsInto(m, values); err != nil {
+				b.Fatal(err)
+			}
+			clear(rho)
+			RhoAccumulate(m, 0, m.N(), k, rho)
+			points.PutMatrix(m)
+		}
+	})
+}

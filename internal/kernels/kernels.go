@@ -1,0 +1,358 @@
+// Package kernels provides the dense pairwise compute layer shared by every
+// distributed Density Peaks pipeline in this repository: blocked (tiled)
+// ρ-accumulation and δ-argmin kernels over the flat SoA layout of
+// points.Matrix, plus an opt-in intra-partition parallel path for skewed
+// reducer groups (see parallel.go).
+//
+// The paper's dominant cost is pairwise distance work inside reducers, and
+// the previous implementation ran it as a scalar loop over heap-allocated
+// per-point Vectors. These kernels walk one contiguous coordinate array in
+// cache-sized tiles instead, with an unrolled fast path for the 2- and
+// 3-dimensional data sets the paper evaluates.
+//
+// Determinism guarantee: every serial kernel performs the same floating
+// point operations in the same per-accumulator order as the naive
+//
+//	for i { for j > i { ... } }
+//
+// reference loop, so ρ sums and δ argmins are bit-identical to the
+// pre-kernel implementation (the property tests in kernels_test.go assert
+// this across dimensions, kernels, and chunkings). Tiles are visited in
+// row-major upper-triangle order — for any accumulator row x the pairs
+// (k, x), k < x arrive in ascending k and then the pairs (x, j), j > x in
+// ascending j, exactly the order of the reference loop, so non-associative
+// float addition cannot diverge.
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/dp"
+	"repro/internal/points"
+)
+
+var inf = math.Inf(1)
+
+// gaussWeight is the Gaussian kernel contribution, exp(−d²/d_c²).
+func gaussWeight(d2, dc2 float64) float64 { return math.Exp(-d2 / dc2) }
+
+// tile is the block edge length of the pairwise loops. 128 rows of a
+// 2-dimensional float64 matrix are 2 KiB, so one tile pair stays resident
+// in L1 while its up-to-16k distance evaluations run.
+const tile = 128
+
+// Kernel selects the density estimator for the ρ kernels: the paper's
+// cutoff kernel (weight 1 below d_c) or the Gaussian extension.
+type Kernel struct {
+	Gaussian bool
+	Dc2      float64 // squared cutoff distance
+}
+
+// Weight returns the ρ contribution of one pair at squared distance d2.
+func (k Kernel) Weight(d2 float64) float64 {
+	if k.Gaussian {
+		return gaussWeight(d2, k.Dc2)
+	}
+	if d2 < k.Dc2 {
+		return 1
+	}
+	return 0
+}
+
+// RhoAccumulate adds every unordered pair's density contribution within
+// rows [lo, hi) of m into rho (indexed like m's rows), returning the number
+// of distance evaluations. Bit-identical to the naive i<j loop.
+func RhoAccumulate(m *points.Matrix, lo, hi int, k Kernel, rho []float64) int64 {
+	n := hi - lo
+	if n < 2 {
+		return 0
+	}
+	data, dim := m.Data(), m.Dim()
+	for ti := lo; ti < hi; ti += tile {
+		tiHi := minInt(ti+tile, hi)
+		rhoDiagTile(data, dim, ti, tiHi, k, rho)
+		for tj := tiHi; tj < hi; tj += tile {
+			rhoCrossTile(data, dim, ti, tiHi, tj, minInt(tj+tile, hi), k, rho, true)
+		}
+	}
+	return int64(n) * int64(n-1) / 2
+}
+
+// RhoCross adds the contributions of every pair (a, b) with a in rows
+// [aLo, aHi) and b in rows [bLo, bHi) — two disjoint row ranges of m — into
+// rho. When both is false only the a-side rows accumulate (EDDPC's
+// home-vs-visitor counting). Bit-identical to the naive a-outer b-inner
+// loop. Returns the number of distance evaluations.
+func RhoCross(m *points.Matrix, aLo, aHi, bLo, bHi int, k Kernel, rho []float64, both bool) int64 {
+	if aHi <= aLo || bHi <= bLo {
+		return 0
+	}
+	data, dim := m.Data(), m.Dim()
+	for ta := aLo; ta < aHi; ta += tile {
+		taHi := minInt(ta+tile, aHi)
+		for tb := bLo; tb < bHi; tb += tile {
+			rhoCrossTile(data, dim, ta, taHi, tb, minInt(tb+tile, bHi), k, rho, both)
+		}
+	}
+	return int64(aHi-aLo) * int64(bHi-bLo)
+}
+
+// rhoDiagTile runs the naive upper-triangle loop within one diagonal tile.
+func rhoDiagTile(data []float64, dim, lo, hi int, k Kernel, rho []float64) {
+	if dim == 2 && !k.Gaussian {
+		dc2 := k.Dc2
+		for i := lo; i < hi; i++ {
+			xi, yi := data[2*i], data[2*i+1]
+			for j := i + 1; j < hi; j++ {
+				d0 := xi - data[2*j]
+				d1 := yi - data[2*j+1]
+				d2 := d0 * d0
+				d2 += d1 * d1
+				if d2 < dc2 {
+					rho[i]++
+					rho[j]++
+				}
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		ai := data[i*dim : (i+1)*dim]
+		for j := i + 1; j < hi; j++ {
+			d2 := sqDistFlat(ai, data[j*dim:(j+1)*dim], dim)
+			if w := k.Weight(d2); w != 0 {
+				rho[i] += w
+				rho[j] += w
+			}
+		}
+	}
+}
+
+// rhoCrossTile runs the naive a-outer b-inner loop over one tile pair.
+func rhoCrossTile(data []float64, dim, aLo, aHi, bLo, bHi int, k Kernel, rho []float64, both bool) {
+	if dim == 2 && !k.Gaussian {
+		dc2 := k.Dc2
+		for a := aLo; a < aHi; a++ {
+			xa, ya := data[2*a], data[2*a+1]
+			for b := bLo; b < bHi; b++ {
+				d0 := xa - data[2*b]
+				d1 := ya - data[2*b+1]
+				d2 := d0 * d0
+				d2 += d1 * d1
+				if d2 < dc2 {
+					rho[a]++
+					if both {
+						rho[b]++
+					}
+				}
+			}
+		}
+		return
+	}
+	for a := aLo; a < aHi; a++ {
+		ra := data[a*dim : (a+1)*dim]
+		for b := bLo; b < bHi; b++ {
+			d2 := sqDistFlat(ra, data[b*dim:(b+1)*dim], dim)
+			if w := k.Weight(d2); w != 0 {
+				rho[a] += w
+				if both {
+					rho[b] += w
+				}
+			}
+		}
+	}
+}
+
+// DeltaAcc accumulates the δ-argmin state of one reducer group: per row the
+// squared distance to the nearest denser row (Best2), that row's index in
+// the matrix (Up, -1 when none seen), and — when tracking fallbacks for
+// Basic-DDP's absolute-peak rule — the largest squared distance observed
+// (Max2).
+type DeltaAcc struct {
+	Best2 []float64
+	Up    []int32 // matrix row index of the best candidate, -1 when none
+	Max2  []float64
+}
+
+// NewDeltaAcc returns an accumulator for n rows, with fallback tracking
+// when withMax is set.
+func NewDeltaAcc(n int, withMax bool) *DeltaAcc {
+	acc := &DeltaAcc{Best2: make([]float64, n), Up: make([]int32, n)}
+	for i := range acc.Best2 {
+		acc.Best2[i] = inf
+		acc.Up[i] = -1
+	}
+	if withMax {
+		acc.Max2 = make([]float64, n)
+	}
+	return acc
+}
+
+// Reset re-initialises the accumulator for n rows, reusing its slices when
+// capacity allows, so a hot reducer can keep one accumulator across groups.
+func (a *DeltaAcc) Reset(n int, withMax bool) {
+	if cap(a.Best2) < n {
+		a.Best2 = make([]float64, n)
+		a.Up = make([]int32, n)
+	}
+	a.Best2 = a.Best2[:n]
+	a.Up = a.Up[:n]
+	for i := 0; i < n; i++ {
+		a.Best2[i] = inf
+		a.Up[i] = -1
+	}
+	if !withMax {
+		a.Max2 = nil
+		return
+	}
+	if cap(a.Max2) < n {
+		a.Max2 = make([]float64, n)
+	}
+	a.Max2 = a.Max2[:n]
+	for i := 0; i < n; i++ {
+		a.Max2[i] = 0
+	}
+}
+
+// DeltaArgmin evaluates every unordered pair within rows [lo, hi) of m
+// (which must carry densities) under the repository's density total order:
+// the less dense row of each pair sees the other as an upslope candidate.
+// Bit-identical to the naive i<j loop, including the first-wins tie rule
+// for equal distances. Returns the number of distance evaluations.
+func DeltaArgmin(m *points.Matrix, lo, hi int, acc *DeltaAcc) int64 {
+	n := hi - lo
+	if n < 2 {
+		return 0
+	}
+	for ti := lo; ti < hi; ti += tile {
+		tiHi := minInt(ti+tile, hi)
+		deltaDiagTile(m, ti, tiHi, acc)
+		for tj := tiHi; tj < hi; tj += tile {
+			deltaCrossTile(m, ti, tiHi, tj, minInt(tj+tile, hi), acc)
+		}
+	}
+	return int64(n) * int64(n-1) / 2
+}
+
+// DeltaCross evaluates every pair (a, b) across two disjoint row ranges,
+// updating both sides' candidates (Basic-DDP's visitor-vs-local pass).
+// Bit-identical to the naive a-outer b-inner loop. Returns the number of
+// distance evaluations.
+func DeltaCross(m *points.Matrix, aLo, aHi, bLo, bHi int, acc *DeltaAcc) int64 {
+	if aHi <= aLo || bHi <= bLo {
+		return 0
+	}
+	for ta := aLo; ta < aHi; ta += tile {
+		taHi := minInt(ta+tile, aHi)
+		for tb := bLo; tb < bHi; tb += tile {
+			deltaCrossTile(m, ta, taHi, tb, minInt(tb+tile, bHi), acc)
+		}
+	}
+	return int64(aHi-aLo) * int64(bHi-bLo)
+}
+
+// deltaObserve folds one evaluated pair (i, j) into the accumulator under
+// the density total order.
+func deltaObserve(acc *DeltaAcc, rho []float64, ids []int32, i, j int, d2 float64) {
+	if acc.Max2 != nil {
+		if d2 > acc.Max2[i] {
+			acc.Max2[i] = d2
+		}
+		if d2 > acc.Max2[j] {
+			acc.Max2[j] = d2
+		}
+	}
+	if dp.DenserVals(rho[j], rho[i], ids[j], ids[i]) {
+		if d2 < acc.Best2[i] {
+			acc.Best2[i] = d2
+			acc.Up[i] = int32(j)
+		}
+	} else if d2 < acc.Best2[j] {
+		acc.Best2[j] = d2
+		acc.Up[j] = int32(i)
+	}
+}
+
+func deltaDiagTile(m *points.Matrix, lo, hi int, acc *DeltaAcc) {
+	data, dim := m.Data(), m.Dim()
+	rho, ids := m.Rhos(), m.IDs()
+	if dim == 2 {
+		for i := lo; i < hi; i++ {
+			xi, yi := data[2*i], data[2*i+1]
+			for j := i + 1; j < hi; j++ {
+				d0 := xi - data[2*j]
+				d1 := yi - data[2*j+1]
+				d2 := d0 * d0
+				d2 += d1 * d1
+				deltaObserve(acc, rho, ids, i, j, d2)
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		ai := data[i*dim : (i+1)*dim]
+		for j := i + 1; j < hi; j++ {
+			deltaObserve(acc, rho, ids, i, j, sqDistFlat(ai, data[j*dim:(j+1)*dim], dim))
+		}
+	}
+}
+
+func deltaCrossTile(m *points.Matrix, aLo, aHi, bLo, bHi int, acc *DeltaAcc) {
+	data, dim := m.Data(), m.Dim()
+	rho, ids := m.Rhos(), m.IDs()
+	if dim == 2 {
+		for a := aLo; a < aHi; a++ {
+			xa, ya := data[2*a], data[2*a+1]
+			for b := bLo; b < bHi; b++ {
+				d0 := xa - data[2*b]
+				d1 := ya - data[2*b+1]
+				d2 := d0 * d0
+				d2 += d1 * d1
+				deltaObserve(acc, rho, ids, a, b, d2)
+			}
+		}
+		return
+	}
+	for a := aLo; a < aHi; a++ {
+		ra := data[a*dim : (a+1)*dim]
+		for b := bLo; b < bHi; b++ {
+			deltaObserve(acc, rho, ids, a, b, sqDistFlat(ra, data[b*dim:(b+1)*dim], dim))
+		}
+	}
+}
+
+// sqDistFlat is the squared Euclidean distance over two flat rows. The
+// unrolled cases keep the exact statement shape of the generic loop
+// (separate multiply then add per coordinate) so their rounding matches the
+// reference implementation bit-for-bit.
+func sqDistFlat(a, b []float64, dim int) float64 {
+	switch dim {
+	case 2:
+		d0 := a[0] - b[0]
+		d1 := a[1] - b[1]
+		s := d0 * d0
+		s += d1 * d1
+		return s
+	case 3:
+		d0 := a[0] - b[0]
+		d1 := a[1] - b[1]
+		d2 := a[2] - b[2]
+		s := d0 * d0
+		s += d1 * d1
+		s += d2 * d2
+		return s
+	}
+	var s float64
+	for t := 0; t < dim; t++ {
+		d := a[t] - b[t]
+		s += d * d
+	}
+	return s
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

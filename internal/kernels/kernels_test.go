@@ -1,0 +1,333 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/dp"
+	"repro/internal/points"
+)
+
+// The tests in this file pin the package's central guarantee: the blocked
+// kernels perform the same floating-point work in the same per-accumulator
+// order as the naive reference loops they replaced, so their outputs are
+// bit-identical — across dimensions, kernels, chunkings (including
+// MaxPartition-style chunk lists), and uneven tile remainders.
+
+// randMatrix builds a RhoPoint matrix of n rows in dim dimensions through
+// the wire codec, the same way a reducer receives it. Densities are drawn
+// from a small integer range so ties exercise the ID tie-break rule.
+func randMatrix(t testing.TB, n, dim int, seed int64) *points.Matrix {
+	t.Helper()
+	rng := points.NewRand(seed)
+	values := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		pos := make(points.Vector, dim)
+		for j := range pos {
+			pos[j] = rng.NormFloat64() * 5
+		}
+		values[i] = points.EncodeRhoPoint(points.RhoPoint{
+			Point: points.Point{ID: int32(n - i), Pos: pos}, // non-dense IDs on purpose
+			Rho:   float64(rng.Intn(4)),
+		})
+	}
+	m := new(points.Matrix)
+	if err := points.DecodeRhoPointsInto(m, values); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// naiveRho is the pre-kernel reducer loop of core/lshddp.go and
+// core/basic.go's diagonal pass.
+func naiveRho(m *points.Matrix, lo, hi int, k Kernel, rho []float64) int64 {
+	var nd int64
+	for i := lo; i < hi; i++ {
+		for j := i + 1; j < hi; j++ {
+			nd++
+			if w := k.Weight(points.SqDist(m.Row(i), m.Row(j))); w != 0 {
+				rho[i] += w
+				rho[j] += w
+			}
+		}
+	}
+	return nd
+}
+
+// naiveRhoCross is core/basic.go's visitor-vs-local pass (a outer, b
+// inner); with both=false it is eddpc's home-only counting.
+func naiveRhoCross(m *points.Matrix, aLo, aHi, bLo, bHi int, k Kernel, rho []float64, both bool) int64 {
+	var nd int64
+	for a := aLo; a < aHi; a++ {
+		for b := bLo; b < bHi; b++ {
+			nd++
+			if w := k.Weight(points.SqDist(m.Row(a), m.Row(b))); w != 0 {
+				rho[a] += w
+				if both {
+					rho[b] += w
+				}
+			}
+		}
+	}
+	return nd
+}
+
+// naiveDelta is the pre-kernel δ reducer loop (strict-<, first candidate
+// wins ties), with optional fallback-max tracking as in basic.go.
+func naiveDelta(m *points.Matrix, lo, hi int, acc *DeltaAcc) int64 {
+	var nd int64
+	for i := lo; i < hi; i++ {
+		for j := i + 1; j < hi; j++ {
+			d2 := points.SqDist(m.Row(i), m.Row(j))
+			nd++
+			naiveObserve(m, acc, i, j, d2)
+		}
+	}
+	return nd
+}
+
+func naiveDeltaCross(m *points.Matrix, aLo, aHi, bLo, bHi int, acc *DeltaAcc) int64 {
+	var nd int64
+	for a := aLo; a < aHi; a++ {
+		for b := bLo; b < bHi; b++ {
+			d2 := points.SqDist(m.Row(a), m.Row(b))
+			nd++
+			naiveObserve(m, acc, a, b, d2)
+		}
+	}
+	return nd
+}
+
+func naiveObserve(m *points.Matrix, acc *DeltaAcc, i, j int, d2 float64) {
+	if acc.Max2 != nil {
+		if d2 > acc.Max2[i] {
+			acc.Max2[i] = d2
+		}
+		if d2 > acc.Max2[j] {
+			acc.Max2[j] = d2
+		}
+	}
+	if dp.DenserVals(m.Rho(j), m.Rho(i), m.ID(j), m.ID(i)) {
+		if d2 < acc.Best2[i] {
+			acc.Best2[i] = d2
+			acc.Up[i] = int32(j)
+		}
+	} else if d2 < acc.Best2[j] {
+		acc.Best2[j] = d2
+		acc.Up[j] = int32(i)
+	}
+}
+
+// chunkings returns representative [lo,hi) chunk lists over n rows: the
+// whole range, and MaxPartition-style contiguous caps that leave uneven
+// remainders around tile boundaries.
+func chunkings(n int) [][][2]int {
+	whole := [][2]int{{0, n}}
+	out := [][][2]int{whole}
+	for _, cap := range []int{tile - 1, tile + 37, 2*tile + 5} {
+		if cap >= n {
+			continue
+		}
+		var ch [][2]int
+		for lo := 0; lo < n; lo += cap {
+			ch = append(ch, [2]int{lo, minInt(lo+cap, n)})
+		}
+		out = append(out, ch)
+	}
+	return out
+}
+
+func kernelsUnderTest(dc2 float64) []Kernel {
+	return []Kernel{
+		{Gaussian: false, Dc2: dc2},
+		{Gaussian: true, Dc2: dc2},
+	}
+}
+
+func TestRhoAccumulateBitIdentical(t *testing.T) {
+	for dim := 2; dim <= 8; dim++ {
+		for _, n := range []int{1, 2, 5, tile, tile + 1, 3*tile + 17} {
+			m := randMatrix(t, n, dim, int64(dim*1000+n))
+			for ki, k := range kernelsUnderTest(4.0) {
+				for ci, chunks := range chunkings(n) {
+					want := make([]float64, n)
+					got := make([]float64, n)
+					var ndWant, ndGot int64
+					for _, ch := range chunks {
+						ndWant += naiveRho(m, ch[0], ch[1], k, want)
+						ndGot += RhoAccumulate(m, ch[0], ch[1], k, got)
+					}
+					if ndWant != ndGot {
+						t.Fatalf("dim=%d n=%d k=%d chunks=%d: nd %d != %d", dim, n, ki, ci, ndGot, ndWant)
+					}
+					assertBitsEqual(t, fmt.Sprintf("rho dim=%d n=%d k=%d chunks=%d", dim, n, ki, ci), got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRhoCrossBitIdentical(t *testing.T) {
+	for dim := 2; dim <= 8; dim++ {
+		n := 2*tile + 31
+		split := tile + 7 // rows [0,split) are "B/local", [split,n) are "A/visitors"
+		m := randMatrix(t, n, dim, int64(dim*77+1))
+		for ki, k := range kernelsUnderTest(3.0) {
+			for _, both := range []bool{true, false} {
+				want := make([]float64, n)
+				got := make([]float64, n)
+				ndWant := naiveRhoCross(m, split, n, 0, split, k, want, both)
+				ndGot := RhoCross(m, split, n, 0, split, k, got, both)
+				if ndWant != ndGot {
+					t.Fatalf("dim=%d k=%d both=%v: nd %d != %d", dim, ki, both, ndGot, ndWant)
+				}
+				assertBitsEqual(t, fmt.Sprintf("rhoCross dim=%d k=%d both=%v", dim, ki, both), got, want)
+			}
+		}
+	}
+}
+
+func TestDeltaArgminBitIdentical(t *testing.T) {
+	for dim := 2; dim <= 8; dim++ {
+		for _, n := range []int{1, 2, 5, tile, tile + 1, 3*tile + 17} {
+			m := randMatrix(t, n, dim, int64(dim*31+n))
+			for _, withMax := range []bool{false, true} {
+				for ci, chunks := range chunkings(n) {
+					want := NewDeltaAcc(n, withMax)
+					got := NewDeltaAcc(n, withMax)
+					for _, ch := range chunks {
+						naiveDelta(m, ch[0], ch[1], want)
+						DeltaArgmin(m, ch[0], ch[1], got)
+					}
+					assertDeltaEqual(t, fmt.Sprintf("delta dim=%d n=%d max=%v chunks=%d", dim, n, withMax, ci), got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaCrossBitIdentical(t *testing.T) {
+	for dim := 2; dim <= 8; dim++ {
+		n := 2*tile + 9
+		split := tile - 3
+		m := randMatrix(t, n, dim, int64(dim*13+5))
+		// Basic-DDP shape: diagonal pass over local rows, then cross pass
+		// visitors × local, both through one accumulator.
+		want := NewDeltaAcc(n, true)
+		got := NewDeltaAcc(n, true)
+		naiveDelta(m, 0, split, want)
+		naiveDeltaCross(m, split, n, 0, split, want)
+		DeltaArgmin(m, 0, split, got)
+		DeltaCross(m, split, n, 0, split, got)
+		assertDeltaEqual(t, fmt.Sprintf("deltaCross dim=%d", dim), got, want)
+	}
+}
+
+// TestDeltaTieBreak pins the first-wins rule on exactly equal distances:
+// two equidistant denser rows must resolve to the earlier row.
+func TestDeltaTieBreak(t *testing.T) {
+	values := [][]byte{
+		points.EncodeRhoPoint(points.RhoPoint{Point: points.Point{ID: 10, Pos: points.Vector{0, 0}}, Rho: 1}),
+		points.EncodeRhoPoint(points.RhoPoint{Point: points.Point{ID: 11, Pos: points.Vector{1, 0}}, Rho: 5}),
+		points.EncodeRhoPoint(points.RhoPoint{Point: points.Point{ID: 12, Pos: points.Vector{-1, 0}}, Rho: 5}),
+	}
+	m := new(points.Matrix)
+	if err := points.DecodeRhoPointsInto(m, values); err != nil {
+		t.Fatal(err)
+	}
+	acc := NewDeltaAcc(3, false)
+	DeltaArgmin(m, 0, 3, acc)
+	if acc.Up[0] != 1 {
+		t.Fatalf("tie resolved to row %d, want first-seen row 1", acc.Up[0])
+	}
+	par := NewDeltaAcc(3, false)
+	DeltaArgminAuto(m, 0, 3, par, Parallel{Threshold: 1, Workers: 4})
+	if par.Up[0] != 1 {
+		t.Fatalf("parallel tie resolved to row %d, want row 1", par.Up[0])
+	}
+}
+
+// TestParallelMatchesSerial runs the Auto kernels with the pool engaged
+// (this is also the -race test for the intra-partition parallel path).
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, n := range []int{tile + 3, 5*tile + 41, 1200} {
+		for dim := 2; dim <= 4; dim++ {
+			m := randMatrix(t, n, dim, int64(n*10+dim))
+			p := Parallel{Threshold: 64, Workers: 4}
+
+			// Cutoff ρ: exact under any merge order (integer sums).
+			k := Kernel{Dc2: 6.0}
+			serial := make([]float64, n)
+			RhoAccumulate(m, 0, n, k, serial)
+			par := make([]float64, n)
+			if nd := RhoAccumulateAuto(m, 0, n, k, par, p); nd != int64(n)*int64(n-1)/2 {
+				t.Fatalf("parallel rho nd = %d", nd)
+			}
+			assertBitsEqual(t, fmt.Sprintf("parallel cutoff rho n=%d dim=%d", n, dim), par, serial)
+
+			// Gaussian ρ: merge order may shift the last ulps; bound it.
+			kg := Kernel{Gaussian: true, Dc2: 6.0}
+			serialG := make([]float64, n)
+			RhoAccumulate(m, 0, n, kg, serialG)
+			parG := make([]float64, n)
+			RhoAccumulateAuto(m, 0, n, kg, parG, p)
+			for i := range serialG {
+				if diff := math.Abs(parG[i] - serialG[i]); diff > 1e-9*(1+math.Abs(serialG[i])) {
+					t.Fatalf("gaussian rho[%d]: parallel %v vs serial %v", i, parG[i], serialG[i])
+				}
+			}
+
+			// δ-argmin: bit-identical by the lexicographic merge.
+			serialD := NewDeltaAcc(n, true)
+			DeltaArgmin(m, 0, n, serialD)
+			parD := NewDeltaAcc(n, true)
+			DeltaArgminAuto(m, 0, n, parD, p)
+			assertDeltaEqual(t, fmt.Sprintf("parallel delta n=%d dim=%d", n, dim), parD, serialD)
+
+			// Determinism: a second parallel run is bit-identical.
+			par2 := make([]float64, n)
+			RhoAccumulateAuto(m, 0, n, kg, par2, p)
+			assertBitsEqual(t, "parallel gaussian determinism", par2, parG)
+		}
+	}
+}
+
+// TestParallelChunkCarry checks the parallel δ merge against accumulator
+// state carried in from an earlier chunk, as the MaxPartition path does.
+func TestParallelChunkCarry(t *testing.T) {
+	n := 4 * tile
+	m := randMatrix(t, n, 2, 99)
+	mid := 2*tile + 11
+	want := NewDeltaAcc(n, false)
+	naiveDelta(m, 0, mid, want)
+	naiveDelta(m, mid, n, want)
+	got := NewDeltaAcc(n, false)
+	p := Parallel{Threshold: 32, Workers: 3}
+	DeltaArgminAuto(m, 0, mid, got, p)
+	DeltaArgminAuto(m, mid, n, got, p)
+	assertDeltaEqual(t, "chunk carry", got, want)
+}
+
+func assertBitsEqual(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: [%d] = %v (%x), want %v (%x)",
+				what, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+func assertDeltaEqual(t *testing.T, what string, got, want *DeltaAcc) {
+	t.Helper()
+	assertBitsEqual(t, what+" best2", got.Best2, want.Best2)
+	for i := range want.Up {
+		if got.Up[i] != want.Up[i] {
+			t.Fatalf("%s: up[%d] = %d, want %d", what, i, got.Up[i], want.Up[i])
+		}
+	}
+	if want.Max2 != nil {
+		assertBitsEqual(t, what+" max2", got.Max2, want.Max2)
+	}
+}

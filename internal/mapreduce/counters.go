@@ -33,6 +33,13 @@ const (
 // name.
 const CtrDistanceComputations = "dp.distance.computations"
 
+// CtrParallelGroups counts reducer groups that crossed the configured
+// intra-partition parallelism threshold and split their pairwise tile grid
+// across a worker pool. Read next to the per-phase straggler stats in the
+// trace: skewed runs show large reduce stragglers at 0 parallel groups,
+// and the counter going positive is the knob taking effect.
+const CtrParallelGroups = "dp.parallel.groups"
+
 // Counters is a concurrency-safe named counter set. Hot paths should hoist
 // Cell(name) out of the loop and call Add on the cell; occasional updates
 // can go through Add on the set itself.

@@ -77,6 +77,7 @@ type taskEmitter struct {
 	runs           [][]string
 	spillDir       string
 	spillSeq       int
+	sortScratch    []Pair // merge buffer reused across partition sorts
 	err            error
 
 	outRecords int64
@@ -95,8 +96,9 @@ func (t *taskEmitter) Emit(key string, value []byte) {
 		return
 	}
 	p := t.part(key, t.nReduce)
-	t.buf[p] = append(t.buf[p], Pair{Key: key, Value: value})
-	t.buffered += pairBytes(Pair{Key: key, Value: value})
+	pair := Pair{Key: key, Value: value}
+	t.buf[p] = append(t.buf[p], pair)
+	t.buffered += pairBytes(pair)
 	t.outRecords++
 	if t.spillThreshold > 0 && t.buffered >= t.spillThreshold {
 		t.err = t.spill()
@@ -137,7 +139,7 @@ func (t *taskEmitter) spill() error {
 func (t *taskEmitter) finishPartition(p int) ([]Pair, error) {
 	ps := t.buf[p]
 	s0 := time.Now()
-	sortPairs(ps)
+	t.sortScratch = sortPairsScratch(ps, t.sortScratch)
 	t.sortWall += time.Since(s0)
 	if t.job.Combine == nil {
 		return ps, nil
@@ -152,7 +154,7 @@ func (t *taskEmitter) finishPartition(p int) ([]Pair, error) {
 	t.ctx.Counters.Add(CtrCombineInputRecords, int64(in))
 	// Combiners may emit under new keys, so re-establish sort order.
 	s1 := time.Now()
-	sortPairs(combined)
+	t.sortScratch = sortPairsScratch(combined, t.sortScratch)
 	t.sortWall += time.Since(s1)
 	return combined, nil
 }
@@ -407,7 +409,9 @@ func splitInput(input []Pair, n int) [][]Pair {
 }
 
 // runParallel runs fn(0..n-1) with at most workers concurrent invocations
-// and returns the first error.
+// and returns the first error. Dispatch stops once any invocation fails,
+// so a failing job returns after the in-flight tasks drain instead of
+// grinding through the remaining queue.
 func runParallel(n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
@@ -424,8 +428,10 @@ func runParallel(n, workers int, fn func(i int) error) error {
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		failOnce sync.Once
 	)
 	next := make(chan int)
+	failed := make(chan struct{})
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -437,12 +443,18 @@ func runParallel(n, workers int, fn func(i int) error) error {
 						firstErr = err
 					}
 					mu.Unlock()
+					failOnce.Do(func() { close(failed) })
 				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-failed:
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()

@@ -133,3 +133,71 @@ func TestRunnerConformance(t *testing.T) {
 		}
 	}
 }
+
+// TestConformanceParallelKernels repeats the density job with the
+// intra-partition parallelism knobs set in Conf. The knobs ride the same
+// (name, conf) job transport as every other parameter, so remote workers
+// must rebuild them and take the parallel path: both engines must count the
+// same dp.parallel.groups, and byte-identical output proves the parallel
+// tile merge reproduces the serial kernel on the distributed engine too.
+func TestConformanceParallelKernels(t *testing.T) {
+	ds := dataset.Blobs("conformance-par", 600, 2, 4, 100, 3, 11)
+	input := core.InputPairs(ds)
+
+	conf := mapreduce.Conf{}
+	conf.SetFloat("ddp.dc", 4.0)
+	conf.SetInt("ddp.dim", ds.Dim())
+	conf.SetInt("ddp.lsh.m", 4)
+	conf.SetInt("ddp.lsh.pi", 2)
+	conf.SetFloat("ddp.lsh.w", 12)
+	conf.SetInt64("ddp.seed", 7)
+	conf.SetInt("ddp.parallel.threshold", 32)
+	conf.SetInt("ddp.parallel.workers", 3)
+
+	makeJob := func() *mapreduce.Job {
+		j := core.JobFactories()[core.JobLSHRho](conf.Clone())
+		j.NumMaps = 4
+		j.NumReduces = 3
+		return j
+	}
+
+	master, _ := startCluster(t, 3)
+	runners := []struct {
+		name   string
+		runner mapreduce.Runner
+	}{
+		{"local", mapreduce.NewDriver(&mapreduce.LocalEngine{Parallelism: 3})},
+		{"rpcmr", master},
+	}
+
+	type observed struct {
+		output   []mapreduce.Pair
+		counters map[string]int64
+	}
+	results := make(map[string]observed)
+	for _, rc := range runners {
+		res, err := rc.runner.Run(makeJob(), input)
+		if err != nil {
+			t.Fatalf("%s: %v", rc.name, err)
+		}
+		out := append([]mapreduce.Pair(nil), res.Output...)
+		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+		results[rc.name] = observed{output: out, counters: res.Counters.Snapshot()}
+	}
+
+	local, rpc := results["local"], results["rpcmr"]
+	if local.counters[mapreduce.CtrParallelGroups] == 0 {
+		t.Fatal("parallel threshold engaged no reducer groups")
+	}
+	if !reflect.DeepEqual(local.counters, rpc.counters) {
+		t.Errorf("counter snapshots differ:\n local: %v\n rpcmr: %v", local.counters, rpc.counters)
+	}
+	if len(local.output) != len(rpc.output) {
+		t.Fatalf("output sizes differ: local %d, rpcmr %d", len(local.output), len(rpc.output))
+	}
+	for i := range local.output {
+		if local.output[i].Key != rpc.output[i].Key || !reflect.DeepEqual(local.output[i].Value, rpc.output[i].Value) {
+			t.Fatalf("output record %d differs between engines", i)
+		}
+	}
+}

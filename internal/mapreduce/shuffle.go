@@ -1,12 +1,87 @@
 package mapreduce
 
-import "sort"
-
 // sortPairs orders pairs by key. The sort is stable so that values under
 // one key keep their emission order — several jobs rely on deterministic
 // value order for reproducible output.
 func sortPairs(ps []Pair) {
-	sort.SliceStable(ps, func(i, j int) bool { return ps[i].Key < ps[j].Key })
+	sortPairsScratch(ps, nil)
+}
+
+// SortPairs is the shuffle's stable pair sort, exported for benchmarks.
+func SortPairs(ps []Pair) { sortPairs(ps) }
+
+// insertionCutoff is the run length below which the pair sort switches to
+// insertion sort; merge passes start from runs of this size.
+const insertionCutoff = 24
+
+// sortPairsScratch is sortPairs with a reusable merge buffer: a bottom-up
+// stable merge sort over []Pair directly. Compared to sort.SliceStable this
+// drops the per-comparison interface and reflect-based swap costs, moves
+// whole Pair values instead of repeated element swaps, and — given a
+// scratch buffer — allocates nothing. Returns the (possibly grown) scratch
+// for the caller to reuse.
+func sortPairsScratch(ps, scratch []Pair) []Pair {
+	n := len(ps)
+	for lo := 0; lo < n; lo += insertionCutoff {
+		insertionSortPairs(ps[lo:minLen(lo+insertionCutoff, n)])
+	}
+	if n <= insertionCutoff {
+		return scratch
+	}
+	if cap(scratch) < n {
+		scratch = make([]Pair, n)
+	}
+	scratch = scratch[:n]
+	src, dst := ps, scratch
+	for width := insertionCutoff; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := minLen(lo+width, n)
+			hi := minLen(lo+2*width, n)
+			mergePairs(dst[lo:hi], src[lo:mid], src[mid:hi])
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &ps[0] {
+		copy(ps, src)
+	}
+	return scratch
+}
+
+// insertionSortPairs stable-sorts a short run in place.
+func insertionSortPairs(ps []Pair) {
+	for i := 1; i < len(ps); i++ {
+		p := ps[i]
+		j := i - 1
+		for j >= 0 && ps[j].Key > p.Key {
+			ps[j+1] = ps[j]
+			j--
+		}
+		ps[j+1] = p
+	}
+}
+
+// mergePairs merges two adjacent sorted runs into dst. Ties take from a,
+// the earlier run, preserving stability.
+func mergePairs(dst, a, b []Pair) {
+	for len(a) > 0 && len(b) > 0 {
+		if b[0].Key < a[0].Key {
+			dst[0] = b[0]
+			b = b[1:]
+		} else {
+			dst[0] = a[0]
+			a = a[1:]
+		}
+		dst = dst[1:]
+	}
+	copy(dst, a)
+	copy(dst, b)
+}
+
+func minLen(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // forEachGroup walks pairs already sorted by key and invokes fn once per
