@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet race bench bench-hot experiments examples clean
+.PHONY: all check build test test-short vet race bench bench-hot bench-shuffle experiments examples clean
 
 all: check
 
@@ -42,6 +42,12 @@ bench-hot:
 		-benchtime $(BENCHTIME) -count $(BENCHCOUNT) ./internal/kernels/ ./internal/points/
 	$(GO) test -bench 'Sort|Shuffle' -run xxx -benchmem \
 		-benchtime $(BENCHTIME) -count $(BENCHCOUNT) ./internal/mapreduce/
+
+# Shuffle transport comparison: legacy gob-RPC vs framed-TCP streaming vs
+# framed+flate, at 1/16/64MB partitions (numbers recorded in BENCH_PR3.json).
+bench-shuffle:
+	$(GO) test -bench BenchmarkShuffleTransport -run '^$$' -benchmem \
+		-benchtime $(BENCHTIME) ./internal/mapreduce/rpcmr/
 
 # Regenerate every table/figure of the paper (several minutes at full scale).
 experiments:

@@ -164,6 +164,11 @@ type perfEntry struct {
 	DistanceComps int64   `json:"distance_computations"`
 	ShuffleBytes  int64   `json:"shuffle_bytes"`
 	ParallelGroup int64   `json:"parallel_groups"`
+	// The wire counters stay zero on the local engine: they count actual
+	// transport bytes of the distributed engine's streaming shuffle,
+	// whereas shuffle_bytes is the paper's logical volume.
+	ShuffleWireBytes     int64 `json:"shuffle_wire_bytes,omitempty"`
+	ShuffleWireBytesComp int64 `json:"shuffle_wire_bytes_compressed,omitempty"`
 }
 
 // summarize folds the job traces an experiment produced into one perf row.
@@ -173,6 +178,8 @@ func summarize(name string, wall time.Duration, jobs []obs.JobTrace) perfEntry {
 		e.DistanceComps += j.Counters[mapreduce.CtrDistanceComputations]
 		e.ShuffleBytes += j.Counters[mapreduce.CtrShuffleBytes]
 		e.ParallelGroup += j.Counters[mapreduce.CtrParallelGroups]
+		e.ShuffleWireBytes += j.Counters[mapreduce.CtrShuffleWireBytes]
+		e.ShuffleWireBytesComp += j.Counters[mapreduce.CtrShuffleWireBytesCompressed]
 	}
 	return e
 }

@@ -93,6 +93,8 @@ func runWorker(args []string) {
 	fs := flag.NewFlagSet("worker", flag.ExitOnError)
 	master := fs.String("master", "localhost:7070", "master address")
 	addr := fs.String("addr", ":0", "listen address for shuffle fetches")
+	poll := fs.Duration("poll", 20*time.Millisecond, "base task-poll interval")
+	pollMax := fs.Duration("poll-max", 250*time.Millisecond, "idle poll backoff cap (the interval doubles while no task is handed out and snaps back on work)")
 	verbose := fs.Bool("v", false, "log task events to stderr")
 	pprofAddr := fs.String("pprof", "", "serve /debug/pprof on this address (e.g. :6061; empty = off)")
 	fs.Parse(args)
@@ -100,6 +102,8 @@ func runWorker(args []string) {
 	registerAllJobs()
 	w, err := rpcmr.StartWorker(*master, *addr)
 	fatal(err)
+	w.PollInterval = *poll
+	w.PollMax = *pollMax
 	if *verbose {
 		sink := obs.NewWriterSink(os.Stderr)
 		w.Log = func(format string, args ...any) { sink.Event("worker", format, args...) }

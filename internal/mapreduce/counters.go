@@ -25,6 +25,18 @@ const (
 	CtrReduceOutputRecords = "reduce.output.records"
 	CtrSpilledRuns         = "spill.runs"
 	CtrSpilledBytes        = "spill.bytes"
+
+	// CtrShuffleWireBytes and CtrShuffleWireBytesCompressed account the
+	// rpcmr streaming shuffle at the transport level, per remote fetch:
+	// wire.bytes is the framed payload plus chunk headers before
+	// compression, wire.bytes.compressed what actually crossed the TCP
+	// connection (equal when compression is off or did not help). They are
+	// deliberately separate from CtrShuffleBytes, which stays the paper's
+	// LOGICAL metric — post-combiner intermediate volume — and is identical
+	// across engines and transports. Local (same-worker) fetches touch no
+	// wire and count nothing here.
+	CtrShuffleWireBytes           = "shuffle.wire.bytes"
+	CtrShuffleWireBytesCompressed = "shuffle.wire.bytes.compressed"
 )
 
 // CtrDistanceComputations is the user counter every clustering job in this

@@ -1,0 +1,128 @@
+package mapreduce
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendDecodeFramesRoundTrip(t *testing.T) {
+	ps := []Pair{
+		{Key: "a", Value: []byte("1")},
+		{Key: "", Value: []byte("empty key")},
+		{Key: "b", Value: nil},
+		{Key: "long-key-with-some-length", Value: bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	var buf []byte
+	var want int64
+	for _, p := range ps {
+		buf = AppendFrame(buf, p)
+		want += FrameBytes(p)
+	}
+	if int64(len(buf)) != want {
+		t.Fatalf("framed %d bytes, FrameBytes sums to %d", len(buf), want)
+	}
+	got, err := DecodeFrames(nil, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ps) {
+		t.Fatalf("decoded %d pairs, want %d", len(got), len(ps))
+	}
+	for i := range ps {
+		if got[i].Key != ps[i].Key || !bytes.Equal(got[i].Value, ps[i].Value) {
+			t.Fatalf("pair %d = %+v, want %+v", i, got[i], ps[i])
+		}
+	}
+}
+
+func TestDecodeFramesTruncated(t *testing.T) {
+	buf := AppendFrame(nil, Pair{Key: "abc", Value: []byte("012345")})
+	for _, cut := range []int{1, 3, 5, 8, len(buf) - 1} {
+		if _, err := DecodeFrames(nil, buf[:cut]); err == nil {
+			t.Fatalf("no error decoding %d of %d bytes", cut, len(buf))
+		}
+	}
+}
+
+func TestFrameWriterReaderRoundTrip(t *testing.T) {
+	f := func(keys []string, vals [][]byte) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		var ps []Pair
+		for i := 0; i < n; i++ {
+			ps = append(ps, Pair{Key: keys[i], Value: vals[i]})
+		}
+		var buf bytes.Buffer
+		fw := NewFrameWriter(&buf)
+		for _, p := range ps {
+			if err := fw.WritePair(p); err != nil {
+				return false
+			}
+		}
+		if err := fw.Flush(); err != nil {
+			return false
+		}
+		fr := NewFrameReader(&buf)
+		var got []Pair
+		for {
+			p, ok, err := fr.Next()
+			if err != nil {
+				return false
+			}
+			if !ok {
+				break
+			}
+			got = append(got, p)
+		}
+		if len(got) != len(ps) {
+			return false
+		}
+		for i := range ps {
+			if got[i].Key != ps[i].Key || !bytes.Equal(got[i].Value, ps[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The writer, the append codec, and the decoder must agree byte for byte:
+// one frame layout, three entry points.
+func TestFrameCodecsAgree(t *testing.T) {
+	ps := []Pair{{Key: "k1", Value: []byte("v1")}, {Key: "k2", Value: bytes.Repeat([]byte("x"), 100)}}
+	var appended []byte
+	for _, p := range ps {
+		appended = AppendFrame(appended, p)
+	}
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	for _, p := range ps {
+		if err := fw.WritePair(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(appended, buf.Bytes()) {
+		t.Fatal("AppendFrame and FrameWriter produce different bytes")
+	}
+	if fw.Bytes() != int64(len(appended)) {
+		t.Fatalf("FrameWriter.Bytes() = %d, want %d", fw.Bytes(), len(appended))
+	}
+	decoded, err := DecodeFrames(nil, appended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Pair{{Key: "k1", Value: []byte("v1")}, {Key: "k2", Value: bytes.Repeat([]byte("x"), 100)}}
+	if !reflect.DeepEqual(decoded, want) {
+		t.Fatalf("decoded %+v", decoded)
+	}
+}

@@ -3,6 +3,7 @@ package rpcmr
 import (
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -10,6 +11,18 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/obs"
 )
+
+// stripWireCounters drops the shuffle.wire.* counters before cross-engine
+// comparison: they measure transport bytes, which only the distributed
+// engine has. The logical shuffle.bytes counter stays in the comparison —
+// the transport must not change what the paper's metric reports.
+func stripWireCounters(c map[string]int64) {
+	for k := range c {
+		if strings.HasPrefix(k, "shuffle.wire.") {
+			delete(c, k)
+		}
+	}
+}
 
 // TestRunnerConformance drives the same LSH-DDP density job through both
 // mapreduce.Runner implementations — the in-process Driver and a real
@@ -73,13 +86,29 @@ func TestRunnerConformance(t *testing.T) {
 				t.Fatalf("Traces() = %d entries, want 1", len(traces))
 			}
 
+			// PhaseFetch spans are the distributed engine's wire-level
+			// observation (one per remote shuffle fetch) — engine-specific
+			// by design, so they sit outside the geometry invariant. Their
+			// Bytes must still be real: positive, and consistent with the
+			// job's wire counters.
 			spans := map[obs.Phase]int{}
-			var shuffleBytes int64
+			var shuffleBytes, fetchWireBytes int64
 			for _, s := range res.Trace.Spans {
+				if s.Phase == obs.PhaseFetch {
+					if s.Bytes <= 0 {
+						t.Fatalf("fetch span with %d wire bytes", s.Bytes)
+					}
+					fetchWireBytes += s.Bytes
+					continue
+				}
 				spans[s.Phase]++
 				if s.Phase == obs.PhaseShuffle {
 					shuffleBytes += s.Bytes
 				}
+			}
+			if ctr := rc.runner.TotalCounter(mapreduce.CtrShuffleWireBytesCompressed); fetchWireBytes != ctr {
+				t.Fatalf("fetch span bytes = %d, %s counter = %d",
+					fetchWireBytes, mapreduce.CtrShuffleWireBytesCompressed, ctr)
 			}
 			// Geometry: one map, sort, and shuffle span per map task (the
 			// job has no combiner), one reduce span per reduce task.
@@ -115,6 +144,8 @@ func TestRunnerConformance(t *testing.T) {
 	if local.output == nil || rpc.output == nil {
 		t.Fatal("one of the runners did not record results")
 	}
+	stripWireCounters(local.counters)
+	stripWireCounters(rpc.counters)
 	if !reflect.DeepEqual(local.counters, rpc.counters) {
 		t.Errorf("counter snapshots differ:\n local: %v\n rpcmr: %v", local.counters, rpc.counters)
 	}
@@ -189,6 +220,8 @@ func TestConformanceParallelKernels(t *testing.T) {
 	if local.counters[mapreduce.CtrParallelGroups] == 0 {
 		t.Fatal("parallel threshold engaged no reducer groups")
 	}
+	stripWireCounters(local.counters)
+	stripWireCounters(rpc.counters)
 	if !reflect.DeepEqual(local.counters, rpc.counters) {
 		t.Errorf("counter snapshots differ:\n local: %v\n rpcmr: %v", local.counters, rpc.counters)
 	}

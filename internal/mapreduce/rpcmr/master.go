@@ -76,9 +76,10 @@ type JobRecord struct {
 }
 
 type workerInfo struct {
-	id       int
-	addr     string
-	lastSeen time.Time
+	id          int
+	addr        string
+	shuffleAddr string
+	lastSeen    time.Time
 }
 
 type taskStatus int
@@ -106,6 +107,7 @@ type jobRun struct {
 	nReduce     int
 	maps        []taskSlot
 	mapAddr     []string // worker addr holding each completed map task's data
+	mapShuffle  []string // that worker's streaming shuffle addr ("" = RPC only)
 	reduces     []taskSlot
 	outputs     [][]mapreduce.Pair
 	counters    *mapreduce.Counters
@@ -264,6 +266,7 @@ func (m *Master) run(job *mapreduce.Job, input []mapreduce.Pair, dfsNameNode str
 		nReduce:     nReduce,
 		maps:        make([]taskSlot, len(splits)),
 		mapAddr:     make([]string, len(splits)),
+		mapShuffle:  make([]string, len(splits)),
 		reduces:     make([]taskSlot, nReduce),
 		outputs:     make([][]mapreduce.Pair, nReduce),
 		counters:    mapreduce.NewCounters(),
@@ -419,7 +422,7 @@ func (r *masterRPC) Register(args *RegisterArgs, reply *RegisterReply) error {
 	}
 	m.nextWorker++
 	id := m.nextWorker
-	m.workers[id] = &workerInfo{id: id, addr: args.Addr, lastSeen: time.Now()}
+	m.workers[id] = &workerInfo{id: id, addr: args.Addr, shuffleAddr: args.ShuffleAddr, lastSeen: time.Now()}
 	reply.WorkerID = id
 	m.logf("worker %d registered at %s", id, args.Addr)
 	return nil
@@ -515,7 +518,7 @@ func (r *masterRPC) GetTask(args *GetTaskArgs, reply *GetTaskReply) error {
 	// Reduce phase.
 	locations := make([]MapLocation, len(run.maps))
 	for ti := range run.maps {
-		locations[ti] = MapLocation{MapTaskID: ti, WorkerAddr: run.mapAddr[ti]}
+		locations[ti] = MapLocation{MapTaskID: ti, WorkerAddr: run.mapAddr[ti], ShuffleAddr: run.mapShuffle[ti]}
 	}
 	assignReduce := func(ti int) {
 		reply.Kind = TaskReduce
@@ -576,6 +579,7 @@ func (r *masterRPC) CompleteTask(args *CompleteArgs, reply *CompleteReply) error
 				if mt >= 0 && mt < len(run.maps) {
 					run.maps[mt] = taskSlot{}
 					run.mapAddr[mt] = ""
+					run.mapShuffle[mt] = ""
 				}
 			}
 			if args.Kind == TaskReduce && args.TaskID < len(run.reduces) {
@@ -601,6 +605,7 @@ func (r *masterRPC) CompleteTask(args *CompleteArgs, reply *CompleteReply) error
 		s.status = taskDone
 		if w, ok := m.workers[args.WorkerID]; ok {
 			run.mapAddr[args.TaskID] = w.addr
+			run.mapShuffle[args.TaskID] = w.shuffleAddr
 		}
 		mergeCounters(run.counters, args.Counters)
 		run.spans = append(run.spans, args.Spans...)

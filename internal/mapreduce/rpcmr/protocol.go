@@ -8,7 +8,9 @@
 //     worker disappears;
 //   - workers execute tasks with mapreduce.ExecuteMapTask /
 //     ExecuteReduceTask, keep their map outputs locally, and serve them to
-//     reducers over a worker-to-worker FetchPartition RPC (the shuffle);
+//     reducers over a worker-to-worker streaming shuffle transport
+//     (chunked binary frames with optional compression — see transport.go;
+//     a gob FetchPartition RPC remains as the compatibility fallback);
 //   - functions do not serialize, so workers rebuild jobs from a local
 //     registry of job factories keyed by job name; everything else a job
 //     needs ships in its Conf.
@@ -42,8 +44,12 @@ const (
 
 // RegisterArgs / RegisterReply: worker sign-on.
 type RegisterArgs struct {
-	// Addr is the worker's RPC address for shuffle fetches.
+	// Addr is the worker's RPC address (legacy shuffle fetches, cleanup).
 	Addr string
+	// ShuffleAddr is the worker's streaming shuffle listener. Empty when
+	// the worker only speaks the legacy gob FetchPartition RPC; reducers
+	// then fall back to that path.
+	ShuffleAddr string
 }
 
 // RegisterReply returns the master-assigned worker id.
@@ -60,6 +66,9 @@ type GetTaskArgs struct {
 type MapLocation struct {
 	MapTaskID  int
 	WorkerAddr string
+	// ShuffleAddr is the holding worker's streaming shuffle listener
+	// (empty = fetch over the legacy RPC path).
+	ShuffleAddr string
 }
 
 // GetTaskReply describes the assigned task (or Wait/Shutdown).
@@ -107,7 +116,10 @@ type CompleteArgs struct {
 // CompleteReply acknowledges a completion report.
 type CompleteReply struct{}
 
-// FetchArgs / FetchReply: worker-to-worker shuffle.
+// FetchArgs / FetchReply: the legacy worker-to-worker shuffle RPC. The
+// streaming transport in transport.go has replaced it on the hot path;
+// it remains as the compatibility fallback (ShuffleAddr-less workers,
+// jobs with mr.shuffle.stream=false).
 type FetchArgs struct {
 	JobID     int
 	MapTaskID int

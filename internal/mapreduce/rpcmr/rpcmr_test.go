@@ -57,7 +57,7 @@ func init() {
 }
 
 // startCluster boots a master and n workers on loopback.
-func startCluster(t *testing.T, n int) (*Master, []*Worker) {
+func startCluster(t testing.TB, n int) (*Master, []*Worker) {
 	t.Helper()
 	m, err := NewMaster("127.0.0.1:0")
 	if err != nil {

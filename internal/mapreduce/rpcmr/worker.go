@@ -1,6 +1,7 @@
 package rpcmr
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -14,10 +15,18 @@ import (
 )
 
 // Worker executes tasks for one master. It serves a small RPC surface of
-// its own (shuffle fetches and cleanup) and polls the master for work.
+// its own (legacy shuffle fetches and cleanup), a streaming shuffle
+// listener (transport.go), and polls the master for work.
 type Worker struct {
-	// PollInterval is the idle polling period (default 20ms).
+	// PollInterval is the base polling period (default 20ms). While no
+	// task is handed out the period backs off exponentially up to
+	// PollMax, and resets on any real task — an idle fleet stops
+	// hammering the master with GetTask chatter. Both knobs are also
+	// Conf-visible: a job carrying "mr.worker.poll.ms" /
+	// "mr.worker.poll.max.ms" retunes the workers it runs on.
 	PollInterval time.Duration
+	// PollMax caps the idle backoff (default 250ms).
+	PollMax time.Duration
 	// Log, when non-nil, receives task events.
 	Log func(format string, args ...any)
 
@@ -26,18 +35,34 @@ type Worker struct {
 	lis    net.Listener
 	master *rpc.Client
 
+	shuffleLis  net.Listener
+	shuffleAddr string
+
 	mu    sync.Mutex
 	store map[storeKey][][]mapreduce.Pair // partitioned map outputs
 
 	peersMu sync.Mutex
 	peers   map[string]*rpc.Client
 
+	streamMu sync.Mutex
+	streams  map[string][]*shuffleStream // idle shuffle conns per peer
+
 	dfsMu      sync.Mutex
 	dfsClients map[string]*dfs.Client
+
+	// shuffleChunkHook, when set (tests), runs before each streamed chunk
+	// is written; an error aborts the serving connection mid-stream.
+	shuffleChunkHook func(jobID, mapTask, partition, chunk int) error
 
 	quit chan struct{}
 	done chan struct{}
 }
+
+// Conf keys that retune worker polling; see Worker.PollInterval.
+const (
+	ConfWorkerPollMS    = "mr.worker.poll.ms"
+	ConfWorkerPollMaxMS = "mr.worker.poll.max.ms"
+)
 
 type storeKey struct {
 	jobID, mapTask int
@@ -51,12 +76,27 @@ func StartWorker(masterAddr, listenAddr string) (*Worker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rpcmr: worker listen: %w", err)
 	}
+	// The streaming shuffle gets its own listener on the same host, so
+	// bulk partition bytes never contend with the net/rpc control plane.
+	host, _, err := net.SplitHostPort(lis.Addr().String())
+	if err != nil {
+		host = ""
+	}
+	shuffleLis, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		lis.Close()
+		return nil, fmt.Errorf("rpcmr: worker shuffle listen: %w", err)
+	}
 	w := &Worker{
 		PollInterval: 20 * time.Millisecond,
+		PollMax:      250 * time.Millisecond,
 		addr:         lis.Addr().String(),
 		lis:          lis,
+		shuffleLis:   shuffleLis,
+		shuffleAddr:  shuffleLis.Addr().String(),
 		store:        make(map[storeKey][][]mapreduce.Pair),
 		peers:        make(map[string]*rpc.Client),
+		streams:      make(map[string][]*shuffleStream),
 		dfsClients:   make(map[string]*dfs.Client),
 		quit:         make(chan struct{}),
 		done:         make(chan struct{}),
@@ -64,20 +104,24 @@ func StartWorker(masterAddr, listenAddr string) (*Worker, error) {
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Worker", &workerRPC{w: w}); err != nil {
 		lis.Close()
+		shuffleLis.Close()
 		return nil, err
 	}
 	go acceptLoop(lis, srv)
+	go w.serveShuffleLoop(shuffleLis)
 
 	conn, err := net.DialTimeout("tcp", masterAddr, 5*time.Second)
 	if err != nil {
 		lis.Close()
+		shuffleLis.Close()
 		return nil, fmt.Errorf("rpcmr: dial master: %w", err)
 	}
 	w.master = rpc.NewClient(conn)
 	var reply RegisterReply
-	if err := w.master.Call("Master.Register", &RegisterArgs{Addr: w.addr}, &reply); err != nil {
+	if err := w.master.Call("Master.Register", &RegisterArgs{Addr: w.addr, ShuffleAddr: w.shuffleAddr}, &reply); err != nil {
 		w.master.Close()
 		lis.Close()
+		shuffleLis.Close()
 		return nil, fmt.Errorf("rpcmr: register: %w", err)
 	}
 	w.id = reply.WorkerID
@@ -99,6 +143,8 @@ func (w *Worker) Close() error {
 	<-w.done
 	w.master.Close()
 	err := w.lis.Close()
+	w.shuffleLis.Close()
+	w.closeStreams()
 	w.peersMu.Lock()
 	for _, c := range w.peers {
 		c.Close()
@@ -137,6 +183,10 @@ func (w *Worker) logf(format string, args ...any) {
 
 func (w *Worker) loop() {
 	defer close(w.done)
+	// Idle polling backs off exponentially from PollInterval to PollMax
+	// and snaps back on any real task: a worker in the thick of a job
+	// polls eagerly, an idle fleet stays quiet.
+	idle := w.PollInterval
 	for {
 		select {
 		case <-w.quit:
@@ -160,13 +210,34 @@ func (w *Worker) loop() {
 			select {
 			case <-w.quit:
 				return
-			case <-time.After(w.PollInterval):
+			case <-time.After(idle):
+			}
+			if idle *= 2; idle > w.PollMax {
+				idle = w.PollMax
 			}
 		case TaskMap:
+			w.adoptPollConf(task.Conf)
 			w.runMap(&task)
+			idle = w.PollInterval
 		case TaskReduce:
+			w.adoptPollConf(task.Conf)
 			w.runReduce(&task)
+			idle = w.PollInterval
 		}
+	}
+}
+
+// adoptPollConf lets a job retune this worker's polling cadence through
+// its Conf (the only channel that reaches remote workers).
+func (w *Worker) adoptPollConf(conf mapreduce.Conf) {
+	if ms := conf.GetInt(ConfWorkerPollMS, 0); ms > 0 {
+		w.PollInterval = time.Duration(ms) * time.Millisecond
+	}
+	if ms := conf.GetInt(ConfWorkerPollMaxMS, 0); ms > 0 {
+		w.PollMax = time.Duration(ms) * time.Millisecond
+	}
+	if w.PollMax < w.PollInterval {
+		w.PollMax = w.PollInterval
 	}
 }
 
@@ -228,16 +299,7 @@ func (w *Worker) runReduce(task *GetTaskReply) {
 	}
 	job := factory(task.Conf)
 	fetchStart := time.Now()
-	sorted := make([][]mapreduce.Pair, 0, len(task.Maps))
-	var failed []int
-	for _, loc := range task.Maps {
-		pairs, err := w.fetch(loc.WorkerAddr, task.JobID, loc.MapTaskID, task.TaskID)
-		if err != nil {
-			failed = append(failed, loc.MapTaskID)
-			continue
-		}
-		sorted = append(sorted, pairs)
-	}
+	sorted, fetchSpans, failed := w.fetchAll(task)
 	if len(failed) > 0 {
 		args.Err = fmt.Sprintf("fetch failed for %d map outputs", len(failed))
 		args.FailedMaps = failed
@@ -245,25 +307,140 @@ func (w *Worker) runReduce(task *GetTaskReply) {
 		return
 	}
 	counters := mapreduce.NewCounters()
+	var wireRaw, wireSent int64
+	for _, s := range fetchSpans {
+		wireRaw += s.rawBytes
+		wireSent += s.span.Bytes
+	}
+	if wireRaw > 0 {
+		counters.Add(mapreduce.CtrShuffleWireBytes, wireRaw)
+		counters.Add(mapreduce.CtrShuffleWireBytesCompressed, wireSent)
+	}
 	out, spans, err := mapreduce.ExecuteReduceTask(job, task.TaskID, task.NumReduces, sorted, counters)
 	if err != nil {
 		args.Err = err.Error()
 		w.report(args)
 		return
 	}
-	// Fold the shuffle-fetch time into the reduce span (there is no
-	// separate fetch span, so span counts match the local engine).
+	// Fold the shuffle-fetch time into the reduce span, keeping the
+	// reduce-span wall comparable with the local engine; the wire-level
+	// detail rides in the extra per-fetch PhaseFetch spans.
 	for i := range spans {
 		if spans[i].Phase == obs.PhaseReduce {
 			spans[i].Start = fetchStart
 			spans[i].Wall = time.Since(fetchStart)
 		}
 	}
+	for _, fs := range fetchSpans {
+		spans = append(spans, fs.span)
+	}
 	args.Output = out
 	args.Counters = counters.Snapshot()
 	args.Spans = w.tagSpans(spans, task.JobID)
 	w.logf("worker %d: reduce %d of job %d done (%d records)", w.id, task.TaskID, task.JobID, len(out))
 	w.report(args)
+}
+
+// fetchSpan pairs a PhaseFetch span (Bytes = actual wire bytes) with the
+// pre-compression volume needed for the wire counters.
+type fetchSpan struct {
+	span     obs.Span
+	rawBytes int64
+}
+
+// fetchAll retrieves every map output for a reduce task, fetching
+// concurrently with a bounded worker pool. Slot order follows task.Maps,
+// so the downstream k-way merge sees sources in the same deterministic
+// order as a sequential fetch. Transient failures are retried with
+// exponential backoff before the map output is declared lost; the
+// returned failed list names map tasks the master must re-execute.
+func (w *Worker) fetchAll(task *GetTaskReply) ([][]mapreduce.Pair, []fetchSpan, []int) {
+	o := fetchOptionsFromConf(task.Conf)
+	slots := make([][]mapreduce.Pair, len(task.Maps))
+	spans := make([]*fetchSpan, len(task.Maps))
+	errs := make([]error, len(task.Maps))
+
+	n := o.fetchers
+	if n > len(task.Maps) {
+		n = len(task.Maps)
+	}
+	sem := make(chan struct{}, n)
+	var wg sync.WaitGroup
+	for i, loc := range task.Maps {
+		wg.Add(1)
+		go func(i int, loc MapLocation) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			slots[i], spans[i], errs[i] = w.fetchOne(loc, task, o)
+		}(i, loc)
+	}
+	wg.Wait()
+
+	var failed []int
+	var fetchSpans []fetchSpan
+	for i := range slots {
+		if errs[i] != nil {
+			failed = append(failed, task.Maps[i].MapTaskID)
+			continue
+		}
+		if spans[i] != nil {
+			fetchSpans = append(fetchSpans, *spans[i])
+		}
+	}
+	if len(failed) > 0 {
+		return nil, nil, failed
+	}
+	return slots, fetchSpans, nil
+}
+
+// fetchOne retrieves a single map output: straight from the local store
+// when the data is ours, over the streaming transport when the holder
+// advertises one, else over the legacy RPC. Only remote streamed fetches
+// produce a fetchSpan (the wire-level observation).
+func (w *Worker) fetchOne(loc MapLocation, task *GetTaskReply, o fetchOptions) ([]mapreduce.Pair, *fetchSpan, error) {
+	if loc.WorkerAddr == w.addr {
+		pairs, err := w.fetch(loc.WorkerAddr, task.JobID, loc.MapTaskID, task.TaskID)
+		return pairs, nil, err
+	}
+	useStream := o.stream && loc.ShuffleAddr != ""
+	var lastErr error
+	for attempt := 0; attempt <= o.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-w.quit:
+				return nil, nil, lastErr
+			case <-time.After(shuffleRetryBackoff << (attempt - 1)):
+			}
+		}
+		if !useStream {
+			pairs, err := w.fetch(loc.WorkerAddr, task.JobID, loc.MapTaskID, task.TaskID)
+			if err == nil {
+				return pairs, nil, nil
+			}
+			lastErr = err
+			continue
+		}
+		start := time.Now()
+		pairs, stats, err := w.fetchStream(loc.ShuffleAddr, task.JobID, loc.MapTaskID, task.TaskID, o)
+		if err == nil {
+			return pairs, &fetchSpan{
+				span: obs.Span{
+					Job: task.JobName, Phase: obs.PhaseFetch, Task: task.TaskID,
+					Start: start, Wall: time.Since(start),
+					Records: stats.records, Bytes: stats.wireBytes,
+				},
+				rawBytes: stats.rawBytes,
+			}, nil
+		}
+		lastErr = err
+		if errors.Is(err, errShuffleMissing) {
+			// The peer answered: the data is gone. Only the master can
+			// fix that by re-executing the map task.
+			break
+		}
+	}
+	return nil, nil, lastErr
 }
 
 // tagSpans stamps this worker's identity and the job id on task spans
@@ -329,19 +506,14 @@ type workerRPC struct {
 	w *Worker
 }
 
-// FetchPartition serves one partition of a stored map output.
+// FetchPartition serves one partition of a stored map output (the legacy
+// gob shuffle; the streaming transport serves the same store).
 func (r *workerRPC) FetchPartition(args *FetchArgs, reply *FetchReply) error {
-	w := r.w
-	w.mu.Lock()
-	parts, ok := w.store[storeKey{jobID: args.JobID, mapTask: args.MapTaskID}]
-	w.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("rpcmr: map output %d/%d not on this worker", args.JobID, args.MapTaskID)
+	pairs, err := r.w.partitionForShuffle(args.JobID, args.MapTaskID, args.Partition)
+	if err != nil {
+		return err
 	}
-	if args.Partition < 0 || args.Partition >= len(parts) {
-		return fmt.Errorf("rpcmr: partition %d out of range", args.Partition)
-	}
-	reply.Pairs = parts[args.Partition]
+	reply.Pairs = pairs
 	return nil
 }
 

@@ -1,11 +1,8 @@
 package mapreduce
 
 import (
-	"bufio"
 	"container/heap"
-	"encoding/binary"
 	"fmt"
-	"io"
 	"os"
 )
 
@@ -16,11 +13,8 @@ import (
 // buffer using a k-way heap merge, so a job's intermediate data never has
 // to fit in memory — the same external-sort discipline Hadoop uses.
 //
-// Run file format: a sequence of records, each
-//
-//	uint32 keyLen | key bytes | uint32 valueLen | value bytes
-//
-// in little-endian, sorted by key.
+// Run files are a plain sequence of record frames (see frame.go), sorted
+// by key — the same layout the rpcmr shuffle transport streams.
 
 // writeRun writes sorted pairs to a new run file at path.
 func writeRun(path string, ps []Pair) (bytes int64, err error) {
@@ -33,26 +27,13 @@ func writeRun(path string, ps []Pair) (bytes int64, err error) {
 			err = cerr
 		}
 	}()
-	w := bufio.NewWriterSize(f, 1<<16)
-	var hdr [4]byte
+	fw := NewFrameWriter(f)
 	for _, p := range ps {
-		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p.Key)))
-		if _, err := w.Write(hdr[:]); err != nil {
+		if err := fw.WritePair(p); err != nil {
 			return 0, err
 		}
-		if _, err := w.WriteString(p.Key); err != nil {
-			return 0, err
-		}
-		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p.Value)))
-		if _, err := w.Write(hdr[:]); err != nil {
-			return 0, err
-		}
-		if _, err := w.Write(p.Value); err != nil {
-			return 0, err
-		}
-		bytes += 8 + pairBytes(p)
 	}
-	return bytes, w.Flush()
+	return fw.Bytes(), fw.Flush()
 }
 
 // pairIterator yields key-ordered pairs from some source.
@@ -80,10 +61,12 @@ func (it *sliceIterator) next() (Pair, bool, error) {
 
 func (it *sliceIterator) close() error { return nil }
 
-// runIterator streams a run file.
+// runIterator streams a run file through a FrameReader, whose grow-only
+// key buffer spares the per-record key-slice allocation (keys become
+// strings anyway; only the string and the retained value allocate).
 type runIterator struct {
-	f *os.File
-	r *bufio.Reader
+	f  *os.File
+	fr *FrameReader
 }
 
 func openRun(path string) (*runIterator, error) {
@@ -91,31 +74,15 @@ func openRun(path string) (*runIterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &runIterator{f: f, r: bufio.NewReaderSize(f, 1<<16)}, nil
+	return &runIterator{f: f, fr: NewFrameReader(f)}, nil
 }
 
 func (it *runIterator) next() (Pair, bool, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(it.r, hdr[:]); err != nil {
-		if err == io.EOF {
-			return Pair{}, false, nil
-		}
+	p, ok, err := it.fr.Next()
+	if err != nil {
 		return Pair{}, false, fmt.Errorf("mapreduce: corrupt run file %s: %w", it.f.Name(), err)
 	}
-	keyLen := binary.LittleEndian.Uint32(hdr[:])
-	key := make([]byte, keyLen)
-	if _, err := io.ReadFull(it.r, key); err != nil {
-		return Pair{}, false, fmt.Errorf("mapreduce: corrupt run file %s: %w", it.f.Name(), err)
-	}
-	if _, err := io.ReadFull(it.r, hdr[:]); err != nil {
-		return Pair{}, false, fmt.Errorf("mapreduce: corrupt run file %s: %w", it.f.Name(), err)
-	}
-	valLen := binary.LittleEndian.Uint32(hdr[:])
-	val := make([]byte, valLen)
-	if _, err := io.ReadFull(it.r, val); err != nil {
-		return Pair{}, false, fmt.Errorf("mapreduce: corrupt run file %s: %w", it.f.Name(), err)
-	}
-	return Pair{Key: string(key), Value: val}, true, nil
+	return p, ok, nil
 }
 
 func (it *runIterator) close() error { return it.f.Close() }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"time"
 )
 
@@ -20,6 +21,11 @@ const (
 	ctrMapOutputRecords = "map.output.records"
 	ctrShuffleBytes     = "shuffle.bytes"
 	ctrReduceOutRecords = "reduce.output.records"
+	// Wire-level shuffle counters (rpcmr streaming transport): reported
+	// when present so an operator can watch logical vs on-the-wire volume
+	// diverge as compression does its work.
+	ctrShuffleWireBytes     = "shuffle.wire.bytes"
+	ctrShuffleWireBytesComp = "shuffle.wire.bytes.compressed"
 )
 
 // StartMonitor begins sampling snapshot every interval and emitting one
@@ -46,10 +52,15 @@ func (m *Monitor) loop(job string, interval time.Duration, snapshot func() map[s
 		}
 		dRec := cur[ctrMapOutputRecords] - prev[ctrMapOutputRecords]
 		dBytes := cur[ctrShuffleBytes] - prev[ctrShuffleBytes]
-		sink.Event("progress", "job %s: %d map records (+%.0f rec/s), %.2f MB shuffled (+%.2f MB/s), %d reduce records",
+		wire := ""
+		if w := cur[ctrShuffleWireBytes]; w > 0 {
+			wire = fmt.Sprintf(", %.2f MB wire (%.2f MB sent)",
+				float64(w)/(1<<20), float64(cur[ctrShuffleWireBytesComp])/(1<<20))
+		}
+		sink.Event("progress", "job %s: %d map records (+%.0f rec/s), %.2f MB shuffled (+%.2f MB/s)%s, %d reduce records",
 			job, cur[ctrMapOutputRecords], float64(dRec)/dt,
 			float64(cur[ctrShuffleBytes])/(1<<20), float64(dBytes)/dt/(1<<20),
-			cur[ctrReduceOutRecords])
+			wire, cur[ctrReduceOutRecords])
 		prev, prevAt = cur, now
 	}
 	for {

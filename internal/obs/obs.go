@@ -15,8 +15,13 @@
 //
 //   - the sum of Bytes over all shuffle-phase spans of a job equals the
 //     job's "shuffle.bytes" counter (the paper's Figure 10(b) metric);
-//   - the span count of a job is a pure function of its task geometry
-//     (maps × phases + reduces), identical across engines.
+//   - the span count of a job over the five dataflow phases is a pure
+//     function of its task geometry (maps × phases + reduces), identical
+//     across engines.
+//
+// The distributed engine additionally emits transport-level "fetch" spans
+// (one per remote shuffle fetch, carrying actual wire bytes); these are
+// engine-specific observations and excluded from the geometry invariant.
 //
 // Traces serialize as JSONL (one span per line, machine-readable) and as a
 // human-readable tree. The package also provides the event sink the
@@ -50,8 +55,15 @@ const (
 	PhaseReduce  Phase = "reduce"
 )
 
+// PhaseFetch is the distributed engine's reduce-side shuffle fetch: one
+// span per remote map-output fetch, whose Bytes are the bytes that
+// actually crossed the wire (post-compression) — distinct from the
+// logical PhaseShuffle bytes, which are transport-independent. The local
+// engine never emits it.
+const PhaseFetch Phase = "fetch"
+
 // PhaseOrder lists the phases in dataflow order, for stable rendering.
-var PhaseOrder = []Phase{PhaseMap, PhaseCombine, PhaseSort, PhaseShuffle, PhaseReduce}
+var PhaseOrder = []Phase{PhaseMap, PhaseCombine, PhaseSort, PhaseShuffle, PhaseFetch, PhaseReduce}
 
 // Span records one task-phase execution. Worker is the rpcmr worker id
 // that ran the task (0 on the local engine).
