@@ -2,19 +2,24 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet race bench bench-hot bench-shuffle experiments examples clean
+.PHONY: all check build test test-short vet doccheck race bench bench-hot bench-shuffle experiments examples clean
 
 all: check
 
-# The full gate: compile everything, vet, run the test suite, and re-run
-# the MapReduce engines (local + rpcmr) under the race detector.
-check: build vet test race
+# The full gate: compile everything, vet, enforce package docs, run the
+# test suite, and re-run the concurrency-heavy packages under the race
+# detector.
+check: build vet doccheck test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Fail on any package missing a package-level doc comment.
+doccheck:
+	$(GO) run ./cmd/doccheck
 
 test:
 	$(GO) test ./...
@@ -23,9 +28,10 @@ test-short:
 	$(GO) test -short ./...
 
 # The engines are the concurrency-heavy core; keep them race-clean. The
-# kernels package rides along for its intra-partition parallel merge path.
+# kernels package rides along for its intra-partition parallel merge path,
+# dfs/chaos for the heartbeat + re-replication machinery and its harness.
 race:
-	$(GO) test -race ./internal/mapreduce/... ./internal/mapreduce/rpcmr/... ./internal/kernels/...
+	$(GO) test -race ./internal/mapreduce/... ./internal/mapreduce/rpcmr/... ./internal/kernels/... ./internal/dfs/... ./internal/chaos/...
 
 bench:
 	$(GO) test -bench=. -benchmem .

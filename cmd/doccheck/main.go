@@ -1,0 +1,85 @@
+// Command doccheck fails the build when any package in the repository
+// lacks a package-level doc comment. It is wired into `make check` so
+// every package keeps the one-paragraph statement of what it is for —
+// the documentation gate added alongside the operator-docs pass.
+//
+// A package passes if at least one of its non-test .go files carries a
+// doc comment on the package clause. Run from the module root:
+//
+//	go run ./cmd/doccheck
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	undocumented, err := scan(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(1)
+	}
+	if len(undocumented) > 0 {
+		fmt.Fprintln(os.Stderr, "doccheck: packages without a package doc comment:")
+		for _, dir := range undocumented {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: all packages documented")
+}
+
+// scan walks the tree under root and returns the directories containing a
+// Go package whose files all lack a package doc comment.
+func scan(root string) ([]string, error) {
+	// dir -> has at least one non-test file with a package doc
+	hasDoc := make(map[string]bool)
+	seen := make(map[string]bool)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		seen[dir] = true
+		if hasDoc[dir] {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			hasDoc[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for dir := range seen {
+		if !hasDoc[dir] {
+			out = append(out, dir)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

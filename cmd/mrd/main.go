@@ -12,6 +12,11 @@
 //
 //	mrd namenode -addr :7080 -replication 2
 //	mrd datanode -namenode localhost:7080 -addr :0
+//
+// Operator tooling (see OPERATIONS.md for the full runbook):
+//
+//	mrd dfsadmin -namenode localhost:7080 report           # node liveness, replication health, counters
+//	mrd dfsadmin -namenode localhost:7080 verify jobs/in   # decode-verify every part under a prefix
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dfs"
+	"repro/internal/dfsio"
 	"repro/internal/eddpc"
 	"repro/internal/kmeansmr"
 	"repro/internal/mapreduce/rpcmr"
@@ -43,13 +49,15 @@ func main() {
 		runNameNode(os.Args[2:])
 	case "datanode":
 		runDataNode(os.Args[2:])
+	case "dfsadmin":
+		runDFSAdmin(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mrd master|worker|namenode|datanode [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mrd master|worker|namenode|datanode|dfsadmin [flags]")
 	os.Exit(2)
 }
 
@@ -136,11 +144,25 @@ func runNameNode(args []string) {
 	fs := flag.NewFlagSet("namenode", flag.ExitOnError)
 	addr := fs.String("addr", ":7080", "listen address")
 	repl := fs.Int("replication", 2, "block replication factor")
+	hbTimeout := fs.Duration("heartbeat-timeout", 3*time.Second, "declare a datanode dead after this long without a heartbeat")
+	sweep := fs.Duration("rereplicate", 500*time.Millisecond, "re-replication sweep interval")
+	verbose := fs.Bool("v", false, "log liveness and re-replication events to stderr")
 	fs.Parse(args)
-	nn, err := dfs.NewNameNode(*addr, *repl)
+	opts := dfs.NameNodeOptions{
+		Replication:       *repl,
+		HeartbeatTimeout:  *hbTimeout,
+		ReplicateInterval: *sweep,
+	}
+	if *verbose {
+		opts.Events = obs.NewWriterSink(os.Stderr)
+	}
+	nn, err := dfs.NewNameNodeOpts(*addr, opts)
 	fatal(err)
-	fmt.Printf("mrd: namenode listening on %s (replication %d)\n", nn.Addr(), *repl)
+	fmt.Printf("mrd: namenode listening on %s (replication %d, heartbeat timeout %v)\n", nn.Addr(), *repl, *hbTimeout)
 	waitForSignal()
+	for name, v := range nn.Counters() {
+		fmt.Printf("mrd: %-28s %d\n", name, v)
+	}
 	nn.Close()
 }
 
@@ -149,18 +171,62 @@ func runDataNode(args []string) {
 	nameAddr := fs.String("namenode", "localhost:7080", "namenode address")
 	addr := fs.String("addr", ":0", "listen address")
 	dir := fs.String("dir", "", "store blocks as files under this directory (empty = in memory)")
+	heartbeat := fs.Duration("heartbeat", 500*time.Millisecond, "heartbeat + block report interval")
 	fs.Parse(args)
-	var dn *dfs.DataNode
-	var err error
-	if *dir != "" {
-		dn, err = dfs.StartDataNodeDir(*nameAddr, *addr, *dir)
-	} else {
-		dn, err = dfs.StartDataNode(*nameAddr, *addr)
-	}
+	dn, err := dfs.StartDataNodeOpts(*nameAddr, *addr, dfs.DataNodeOptions{
+		Dir:               *dir,
+		HeartbeatInterval: *heartbeat,
+	})
 	fatal(err)
 	fmt.Printf("mrd: datanode serving on %s (namenode %s)\n", dn.Addr(), *nameAddr)
 	waitForSignal()
 	dn.Close()
+}
+
+func runDFSAdmin(args []string) {
+	fs := flag.NewFlagSet("dfsadmin", flag.ExitOnError)
+	nameAddr := fs.String("namenode", "localhost:7080", "namenode address")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mrd dfsadmin [-namenode addr] report | verify <prefix>")
+		os.Exit(2)
+	}
+	c, err := dfs.NewClient(*nameAddr)
+	fatal(err)
+	defer c.Close()
+	switch rest[0] {
+	case "report":
+		rep, err := c.Report()
+		fatal(err)
+		fmt.Printf("namenode %s: %d files, %d blocks, %d under-replicated\n",
+			*nameAddr, rep.Files, rep.Blocks, rep.UnderReplicated)
+		for _, node := range rep.Nodes {
+			state := "LIVE"
+			if !node.Alive {
+				state = "DEAD"
+			}
+			fmt.Printf("  %-22s %-4s blocks=%-6d last heartbeat %dms ago\n",
+				node.Addr, state, node.Blocks, node.AgeMS)
+		}
+		for name, v := range rep.Counters {
+			fmt.Printf("  %-28s %d\n", name, v)
+		}
+		if rep.UnderReplicated > 0 {
+			os.Exit(1)
+		}
+	case "verify":
+		if len(rest) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: mrd dfsadmin verify <prefix>")
+			os.Exit(2)
+		}
+		parts, records, err := dfsio.VerifyPrefix(c, rest[1])
+		fatal(err)
+		fmt.Printf("%s: %d parts, %d records, all blocks checksum-clean\n", rest[1], parts, records)
+	default:
+		fmt.Fprintf(os.Stderr, "mrd dfsadmin: unknown command %q\n", rest[0])
+		os.Exit(2)
+	}
 }
 
 func fatal(err error) {

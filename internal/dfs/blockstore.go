@@ -1,47 +1,118 @@
 package dfs
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 )
 
+// castagnoli is the CRC32-C polynomial table — the same checksum family
+// HDFS uses for block data. Every replica stores the checksum of its
+// payload at write time; reads recompute and compare, so silent bit rot is
+// detected at the datanode before bytes ever reach a client.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// BlockChecksum returns the CRC32-C checksum of a block payload.
+func BlockChecksum(data []byte) uint32 {
+	return crc32.Checksum(data, castagnoli)
+}
+
+// blockStore abstracts replica storage. put computes and stores the
+// payload's CRC32-C; get returns the payload with the checksum recorded at
+// write time (verification is the datanode's job, so a store never blocks
+// a read on a mismatch). corrupt flips one stored payload bit WITHOUT
+// touching the recorded checksum — the fault-injection entry point the
+// chaos harness uses to simulate disk bit rot.
+type blockStore interface {
+	put(id int64, data []byte) error
+	get(id int64) (data []byte, crc uint32, ok bool, err error)
+	delete(id int64) error
+	ids() ([]int64, error)
+	count() (int, error)
+	corrupt(id int64, seed int) error
+}
+
 // memStore keeps replicas in a map — the default for tests and the
 // in-process examples.
 type memStore struct {
 	blocks map[int64][]byte
+	crcs   map[int64]uint32
 }
 
-func newMemStore() *memStore { return &memStore{blocks: make(map[int64][]byte)} }
+func newMemStore() *memStore {
+	return &memStore{blocks: make(map[int64][]byte), crcs: make(map[int64]uint32)}
+}
 
 func (s *memStore) put(id int64, data []byte) error {
 	s.blocks[id] = append([]byte(nil), data...)
+	s.crcs[id] = BlockChecksum(data)
 	return nil
 }
 
-func (s *memStore) get(id int64) ([]byte, bool, error) {
+func (s *memStore) get(id int64) ([]byte, uint32, bool, error) {
 	data, ok := s.blocks[id]
 	if !ok {
-		return nil, false, nil
+		return nil, 0, false, nil
 	}
-	return append([]byte(nil), data...), true, nil
+	return append([]byte(nil), data...), s.crcs[id], true, nil
 }
 
 func (s *memStore) delete(id int64) error {
 	delete(s.blocks, id)
+	delete(s.crcs, id)
 	return nil
+}
+
+func (s *memStore) ids() ([]int64, error) {
+	out := make([]int64, 0, len(s.blocks))
+	for id := range s.blocks {
+		out = append(out, id)
+	}
+	return out, nil
 }
 
 func (s *memStore) count() (int, error) { return len(s.blocks), nil }
 
+func (s *memStore) corrupt(id int64, seed int) error {
+	data, ok := s.blocks[id]
+	if !ok {
+		return fmt.Errorf("dfs: corrupt: block %d not stored", id)
+	}
+	if len(data) == 0 {
+		// No payload bit to flip; poison the recorded checksum instead.
+		s.crcs[id]++
+		return nil
+	}
+	flipBit(data, seed)
+	return nil
+}
+
+// flipBit flips one bit of data chosen by seed (callers that need
+// determinism pass a seeded value).
+func flipBit(data []byte, seed int) {
+	if len(data) == 0 {
+		return
+	}
+	if seed < 0 {
+		seed = -seed
+	}
+	data[seed%len(data)] ^= 1 << (seed % 8)
+}
+
 // dirStore keeps each replica as a file "blk_<id>" under a directory, so a
 // datanode's data outlives the process and memory use stays bounded —
 // the HDFS storage model. Existing block files are served after restart.
+// File layout: a 4-byte little-endian CRC32-C header followed by the
+// payload, so checksums survive restarts with the data they cover.
 type dirStore struct {
 	dir string
 }
+
+const crcHeaderLen = 4
 
 func newDirStore(dir string) (*dirStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -56,22 +127,28 @@ func (s *dirStore) path(id int64) string {
 
 func (s *dirStore) put(id int64, data []byte) error {
 	// Write-then-rename so a crashed write never leaves a torn replica.
+	buf := make([]byte, crcHeaderLen+len(data))
+	binary.LittleEndian.PutUint32(buf, BlockChecksum(data))
+	copy(buf[crcHeaderLen:], data)
 	tmp := s.path(id) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
 		return err
 	}
 	return os.Rename(tmp, s.path(id))
 }
 
-func (s *dirStore) get(id int64) ([]byte, bool, error) {
-	data, err := os.ReadFile(s.path(id))
+func (s *dirStore) get(id int64) ([]byte, uint32, bool, error) {
+	raw, err := os.ReadFile(s.path(id))
 	if os.IsNotExist(err) {
-		return nil, false, nil
+		return nil, 0, false, nil
 	}
 	if err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	}
-	return data, true, nil
+	if len(raw) < crcHeaderLen {
+		return nil, 0, false, fmt.Errorf("dfs: block %d: truncated replica file", id)
+	}
+	return raw[crcHeaderLen:], binary.LittleEndian.Uint32(raw), true, nil
 }
 
 func (s *dirStore) delete(id int64) error {
@@ -82,16 +159,44 @@ func (s *dirStore) delete(id int64) error {
 	return err
 }
 
-func (s *dirStore) count() (int, error) {
+func (s *dirStore) ids() ([]int64, error) {
 	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "blk_") || strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		id, err := strconv.ParseInt(strings.TrimPrefix(name, "blk_"), 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+func (s *dirStore) count() (int, error) {
+	ids, err := s.ids()
 	if err != nil {
 		return 0, err
 	}
-	n := 0
-	for _, e := range entries {
-		if strings.HasPrefix(e.Name(), "blk_") && !strings.HasSuffix(e.Name(), ".tmp") {
-			n++
-		}
+	return len(ids), nil
+}
+
+func (s *dirStore) corrupt(id int64, seed int) error {
+	raw, err := os.ReadFile(s.path(id))
+	if err != nil {
+		return fmt.Errorf("dfs: corrupt: %w", err)
 	}
-	return n, nil
+	if len(raw) <= crcHeaderLen {
+		// Empty payload: poison the stored checksum.
+		raw[0]++
+	} else {
+		flipBit(raw[crcHeaderLen:], seed)
+	}
+	return os.WriteFile(s.path(id), raw, 0o644)
 }

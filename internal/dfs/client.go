@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/rpc"
 	"sync"
+	"time"
 )
 
 // Client implements FileSystem against a NameNode/DataNode cluster. It is
@@ -13,6 +14,12 @@ type Client struct {
 	// BlockSize is the split size for Put (default 1 MiB; tests shrink it
 	// to force multi-block files).
 	BlockSize int
+	// ReadRetries is how many times Get re-Lookups a file and retries when
+	// a block is unreadable on every known replica (default 2) — it rides
+	// out the window where re-replication is restoring a copy.
+	ReadRetries int
+	// ReadRetryDelay is the pause between those retries (default 100ms).
+	ReadRetryDelay time.Duration
 
 	nameAddr string
 
@@ -28,10 +35,12 @@ func NewClient(addr string) (*Client, error) {
 		return nil, fmt.Errorf("dfs: dial namenode: %w", err)
 	}
 	return &Client{
-		BlockSize: 1 << 20,
-		nameAddr:  addr,
-		name:      name,
-		nodes:     make(map[string]*rpc.Client),
+		BlockSize:      1 << 20,
+		ReadRetries:    2,
+		ReadRetryDelay: 100 * time.Millisecond,
+		nameAddr:       addr,
+		name:           name,
+		nodes:          make(map[string]*rpc.Client),
 	}, nil
 }
 
@@ -77,7 +86,10 @@ func (c *Client) callName(method string, args, reply interface{}) error {
 }
 
 // Put implements FileSystem: split into blocks, ask the namenode for
-// placements, write every replica, then commit. A previous version's
+// placements, write the replicas, then commit. A replica write that fails
+// is tolerated as long as at least one replica of each block lands — the
+// file commits with the replicas that succeeded and the namenode's
+// re-replication loop restores the target count. A previous version's
 // blocks are garbage-collected after commit.
 func (c *Client) Put(name string, data []byte) error {
 	var oldBlocks []blockMeta
@@ -108,44 +120,79 @@ func (c *Client) Put(name string, data []byte) error {
 		return err
 	}
 	off := 0
-	for _, blk := range created.Blocks {
+	commit := make([]blockMeta, len(created.Blocks))
+	for i, blk := range created.Blocks {
 		chunk := data[off : off+blk.Size]
 		off += blk.Size
+		var written []string
+		var lastErr error
 		for _, replica := range blk.Replicas {
 			n, err := c.node(replica)
 			if err != nil {
-				return fmt.Errorf("dfs: write block %d to %s: %w", blk.ID, replica, err)
+				lastErr = err
+				continue
 			}
 			var rep WriteBlockReply
 			if err := n.Call("DataNode.WriteBlock", &WriteBlockArgs{ID: blk.ID, Data: chunk}, &rep); err != nil {
 				c.dropNode(replica)
-				return fmt.Errorf("dfs: write block %d to %s: %w", blk.ID, replica, err)
+				lastErr = err
+				continue
 			}
+			written = append(written, replica)
 		}
+		if len(written) == 0 {
+			return fmt.Errorf("dfs: write block %d: no replica written (%d targets): %w",
+				blk.ID, len(blk.Replicas), lastErr)
+		}
+		commit[i] = blockMeta{ID: blk.ID, Size: blk.Size, Replicas: written}
 	}
 	var committed CommitReply
-	if err := c.callName("NameNode.Commit", &CommitArgs{Name: name, Blocks: created.Blocks}, &committed); err != nil {
+	if err := c.callName("NameNode.Commit", &CommitArgs{Name: name, Blocks: commit}, &committed); err != nil {
 		return err
 	}
 	c.gcBlocks(oldBlocks)
 	return nil
 }
 
-// Get implements FileSystem: read each block from the first live replica.
+// Get implements FileSystem: read each block from the first replica that
+// serves it with a valid checksum. If a block is unreadable on every
+// known replica (e.g. its last holder just died), the whole read is
+// retried after a fresh Lookup up to ReadRetries times, riding out
+// re-replication restoring a copy elsewhere.
 func (c *Client) Get(name string) ([]byte, error) {
-	var lookup LookupReply
-	if err := c.callName("NameNode.Lookup", &LookupArgs{Name: name}, &lookup); err != nil {
-		return nil, err
+	retries := c.ReadRetries
+	if retries < 0 {
+		retries = 0
 	}
-	data := make([]byte, 0, lookup.File.Size)
-	for _, blk := range lookup.File.Blocks {
-		chunk, err := c.readBlock(blk)
-		if err != nil {
+	delay := c.ReadRetryDelay
+	if delay <= 0 {
+		delay = 100 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+		}
+		var lookup LookupReply
+		if err := c.callName("NameNode.Lookup", &LookupArgs{Name: name}, &lookup); err != nil {
 			return nil, err
 		}
-		data = append(data, chunk...)
+		data := make([]byte, 0, lookup.File.Size)
+		ok := true
+		for _, blk := range lookup.File.Blocks {
+			chunk, err := c.readBlock(blk)
+			if err != nil {
+				lastErr = err
+				ok = false
+				break
+			}
+			data = append(data, chunk...)
+		}
+		if ok {
+			return data, nil
+		}
 	}
-	return data, nil
+	return nil, lastErr
 }
 
 func (c *Client) readBlock(blk blockMeta) ([]byte, error) {
@@ -162,10 +209,46 @@ func (c *Client) readBlock(blk blockMeta) ([]byte, error) {
 			lastErr = err
 			continue
 		}
+		// End-to-end verification: the datanode already checked the
+		// stored checksum, this guards the wire.
+		if BlockChecksum(rep.Data) != rep.Crc {
+			lastErr = fmt.Errorf("dfs: block %d from %s corrupted in transit", blk.ID, replica)
+			continue
+		}
 		return rep.Data, nil
 	}
 	return nil, fmt.Errorf("dfs: block %d unreadable on all %d replicas: %w",
 		blk.ID, len(blk.Replicas), lastErr)
+}
+
+// BlockLocation describes one block of a file and its current replicas,
+// for operator tooling and fault-injection tests.
+type BlockLocation struct {
+	ID       int64
+	Size     int
+	Replicas []string
+}
+
+// BlockLocations returns the block layout of a file (replicas ordered
+// live-first, as in Lookup).
+func (c *Client) BlockLocations(name string) ([]BlockLocation, error) {
+	var lookup LookupReply
+	if err := c.callName("NameNode.Lookup", &LookupArgs{Name: name}, &lookup); err != nil {
+		return nil, err
+	}
+	out := make([]BlockLocation, len(lookup.File.Blocks))
+	for i, b := range lookup.File.Blocks {
+		out[i] = BlockLocation{ID: b.ID, Size: b.Size, Replicas: append([]string(nil), b.Replicas...)}
+	}
+	return out, nil
+}
+
+// Report fetches the namenode's cluster snapshot (node liveness, block
+// totals, replication health, counters) — the dfsadmin view.
+func (c *Client) Report() (ReportReply, error) {
+	var reply ReportReply
+	err := c.callName("NameNode.Report", &ReportArgs{}, &reply)
+	return reply, err
 }
 
 // List implements FileSystem.

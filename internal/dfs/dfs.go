@@ -8,10 +8,27 @@
 //     files are split into fixed-size blocks, each block is written to R
 //     datanodes, and reads fall back across replicas when a datanode dies.
 //
-// The design is deliberately a teaching-scale HDFS: one namenode holding
-// all metadata in memory, push-based writes from the client to each
-// replica, and no re-replication daemon (a lost replica is only noticed —
-// and routed around — at read time).
+// The block store has the three durability mechanisms the HDFS lineage
+// rests on:
+//
+//   - Heartbeats: every datanode reports liveness and its full block
+//     inventory to the namenode on a configurable interval; a node silent
+//     past NameNodeOptions.HeartbeatTimeout is declared dead and excluded
+//     from placement, and block lookups order replicas live-first.
+//   - Re-replication: a background sweep on the namenode finds blocks
+//     with fewer live replicas than the target and orders a surviving
+//     holder to push a copy to a new node (the order rides on a heartbeat
+//     reply; completion is confirmed by the target's next block report).
+//     Progress is visible as dfs.* counters and "rereplicate" obs spans.
+//   - Checksums: every replica stores the CRC32-C of its payload; reads
+//     verify it, quarantine and report corrupt copies, and fail over to a
+//     healthy replica while re-replication restores the lost copy.
+//
+// The design remains deliberately teaching-scale: one namenode holding
+// all metadata in memory (a single point of failure — see OPERATIONS.md),
+// push-based writes from the client to each replica, and whole-block
+// reads. Fault injection for tests lives in internal/chaos and hooks in
+// through DataNode.SetHooks and DataNode.Corrupt.
 package dfs
 
 import (

@@ -283,11 +283,14 @@ func TestDirStoreOverwriteAndMissing(t *testing.T) {
 	if err := st.put(7, []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	data, ok, err := st.get(7)
+	data, crc, ok, err := st.get(7)
 	if err != nil || !ok || string(data) != "v2" {
 		t.Fatalf("overwrite: %q %v %v", data, ok, err)
 	}
-	if _, ok, err := st.get(99); ok || err != nil {
+	if crc != BlockChecksum([]byte("v2")) {
+		t.Fatalf("stored crc %08x does not match payload", crc)
+	}
+	if _, _, ok, err := st.get(99); ok || err != nil {
 		t.Fatalf("missing block: ok=%v err=%v", ok, err)
 	}
 	if err := st.delete(99); err != nil {

@@ -1,0 +1,284 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// startFaultDFS boots a cluster with aggressive fault-tolerance timings so
+// liveness detection and re-replication converge in tens of milliseconds.
+func startFaultDFS(t *testing.T, nodes, replication int) (*NameNode, []*DataNode, *Client) {
+	t.Helper()
+	nn, err := NewNameNodeOpts("127.0.0.1:0", NameNodeOptions{
+		Replication:       replication,
+		HeartbeatTimeout:  150 * time.Millisecond,
+		ReplicateInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nn.Close() })
+	var dns []*DataNode
+	for i := 0; i < nodes; i++ {
+		dn, err := StartDataNodeOpts(nn.Addr(), "127.0.0.1:0", DataNodeOptions{
+			HeartbeatInterval: 30 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dns = append(dns, dn)
+		t.Cleanup(func() { dn.Close() })
+	}
+	c, err := NewClient(nn.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return nn, dns, c
+}
+
+// waitFor polls cond until it returns nil or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() error) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	var err error
+	for time.Now().Before(deadline) {
+		if err = cond(); err == nil {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s: %v", what, err)
+}
+
+// byAddr maps datanode addresses back to their handles.
+func byAddr(dns []*DataNode) map[string]*DataNode {
+	m := make(map[string]*DataNode, len(dns))
+	for _, dn := range dns {
+		m[dn.Addr()] = dn
+	}
+	return m
+}
+
+func TestHeartbeatLivenessExcludesDeadFromPlacement(t *testing.T) {
+	nn, dns, c := startFaultDFS(t, 3, 2)
+	waitFor(t, 2*time.Second, "all nodes live", func() error {
+		if n := nn.LiveNodeCount(); n != 3 {
+			return fmt.Errorf("live=%d", n)
+		}
+		return nil
+	})
+	dead := dns[0].Addr()
+	dns[0].Close()
+	waitFor(t, 2*time.Second, "death detected", func() error {
+		if n := nn.LiveNodeCount(); n != 2 {
+			return fmt.Errorf("live=%d", n)
+		}
+		return nil
+	})
+	if nn.Counters()[CtrNodesDead] == 0 {
+		t.Fatal("dfs.nodes.dead counter did not advance")
+	}
+	// New files must be placed only on the two survivors.
+	c.BlockSize = 32
+	if err := c.Put("fresh", bytes.Repeat([]byte("y"), 200)); err != nil {
+		t.Fatal(err)
+	}
+	locs, err := c.BlockLocations("fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range locs {
+		if len(l.Replicas) != 2 {
+			t.Fatalf("block %d placed on %d replicas, want 2", l.ID, len(l.Replicas))
+		}
+		for _, r := range l.Replicas {
+			if r == dead {
+				t.Fatalf("block %d placed on dead node %s", l.ID, dead)
+			}
+		}
+	}
+}
+
+func TestReReplicationConvergence(t *testing.T) {
+	nn, dns, c := startFaultDFS(t, 3, 2)
+	c.BlockSize = 64
+	data := bytes.Repeat([]byte("durable!"), 100) // 800 bytes = 13 blocks
+	if err := c.Put("precious", data); err != nil {
+		t.Fatal(err)
+	}
+	dead := dns[0].Addr()
+	dns[0].Close()
+
+	// Every block must regain 2 replicas on the survivors.
+	waitFor(t, 5*time.Second, "re-replication convergence", func() error {
+		locs, err := c.BlockLocations("precious")
+		if err != nil {
+			return err
+		}
+		for _, l := range locs {
+			live := 0
+			for _, r := range l.Replicas {
+				if r != dead {
+					live++
+				}
+			}
+			if live < 2 {
+				return fmt.Errorf("block %d has %d live replicas", l.ID, live)
+			}
+		}
+		return nil
+	})
+	ctrs := nn.Counters()
+	if ctrs[CtrRereplications] == 0 {
+		t.Fatal("dfs.rereplications did not advance")
+	}
+	if spans := nn.Spans(); len(spans) == 0 {
+		t.Fatal("no rereplicate spans recorded")
+	} else if spans[0].Phase != "rereplicate" {
+		t.Fatalf("span phase = %q", spans[0].Phase)
+	}
+	waitFor(t, 2*time.Second, "underreplicated gauge back to 0", func() error {
+		if g := nn.Counters()[CtrBlocksUnderReplicated]; g != 0 {
+			return fmt.Errorf("gauge=%d", g)
+		}
+		return nil
+	})
+
+	// The real proof: kill a second original node. Data survives only if
+	// re-replication actually copied blocks (with the original placement
+	// some block would now have zero live replicas).
+	dns[1].Close()
+	waitFor(t, 2*time.Second, "second death detected", func() error {
+		if n := nn.LiveNodeCount(); n != 1 {
+			return fmt.Errorf("live=%d", n)
+		}
+		return nil
+	})
+	got, err := c.Get("precious")
+	if err != nil {
+		t.Fatalf("Get after two node deaths: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content mismatch after two node deaths")
+	}
+}
+
+func TestChecksumCorruptionFailoverAndHeal(t *testing.T) {
+	nn, dns, c := startFaultDFS(t, 3, 2)
+	c.BlockSize = 128
+	data := bytes.Repeat([]byte("checksum"), 64) // 512 bytes = 4 blocks
+	if err := c.Put("verified", data); err != nil {
+		t.Fatal(err)
+	}
+	locs, err := c.BlockLocations("verified")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := byAddr(dns)
+	// Corrupt the first replica of the first block — the copy the client
+	// will try first.
+	victim := nodes[locs[0].Replicas[0]]
+	if err := victim.Corrupt(locs[0].ID, 12345); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("verified")
+	if err != nil {
+		t.Fatalf("Get with one corrupt replica: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("corrupt data served to client")
+	}
+	if nn.Counters()[CtrBlocksCorrupt] == 0 {
+		t.Fatal("dfs.blocks.corrupt did not advance")
+	}
+	// The corrupt replica was quarantined and the block re-replicated.
+	waitFor(t, 5*time.Second, "corrupt block healed", func() error {
+		locs, err := c.BlockLocations("verified")
+		if err != nil {
+			return err
+		}
+		if len(locs[0].Replicas) < 2 {
+			return fmt.Errorf("block %d has %d replicas", locs[0].ID, len(locs[0].Replicas))
+		}
+		if nn.Counters()[CtrRereplications] == 0 {
+			return fmt.Errorf("no re-replication yet")
+		}
+		return nil
+	})
+}
+
+func TestDataNodeDiesDuringOpenRead(t *testing.T) {
+	_, dns, c := startFaultDFS(t, 3, 2)
+	c.BlockSize = 64
+	data := bytes.Repeat([]byte("midread!"), 64)
+	if err := c.Put("midread", data); err != nil {
+		t.Fatal(err)
+	}
+	locs, err := c.BlockLocations("midread")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := byAddr(dns)
+	// The node serving the first block kills itself as it starts to serve
+	// the request — a crash with the connection open.
+	victim := nodes[locs[0].Replicas[0]]
+	trig := chaos.OnNth(1, func() { victim.Close() })
+	victim.SetHooks(BlockHooks{BeforeRead: func(id int64) error { trig(); return nil }})
+	got, err := c.Get("midread")
+	if err != nil {
+		t.Fatalf("Get with node dying mid-read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content mismatch after mid-read crash failover")
+	}
+}
+
+func TestPutToleratesReplicaWriteFailure(t *testing.T) {
+	nn, dns, c := startFaultDFS(t, 2, 2)
+	c.BlockSize = 64
+	// One datanode refuses all writes.
+	faults := &chaos.Faults{DropEvery: 1}
+	dns[0].SetHooks(BlockHooks{BeforeWrite: faults.Hook()})
+	data := bytes.Repeat([]byte("partial!"), 32)
+	if err := c.Put("partial", data); err != nil {
+		t.Fatalf("Put with one failing replica: %v", err)
+	}
+	got, err := c.Get("partial")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read back: %v", err)
+	}
+	locs, err := c.BlockLocations("partial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range locs {
+		if len(l.Replicas) != 1 || l.Replicas[0] != dns[1].Addr() {
+			t.Fatalf("block %d committed replicas %v, want only %s", l.ID, l.Replicas, dns[1].Addr())
+		}
+	}
+	if faults.Calls() == 0 {
+		t.Fatal("write fault hook never fired")
+	}
+	// Heal: clear the hook and wait for re-replication to restore R=2.
+	dns[0].SetHooks(BlockHooks{})
+	waitFor(t, 5*time.Second, "write-failure heal", func() error {
+		locs, err := c.BlockLocations("partial")
+		if err != nil {
+			return err
+		}
+		for _, l := range locs {
+			if len(l.Replicas) < 2 {
+				return fmt.Errorf("block %d has %d replicas", l.ID, len(l.Replicas))
+			}
+		}
+		return nil
+	})
+	if nn.Counters()[CtrRereplications] == 0 {
+		t.Fatal("dfs.rereplications did not advance during heal")
+	}
+}

@@ -222,6 +222,27 @@ func LoadPart(fs dfs.FileSystem, name string) ([]mapreduce.Pair, error) {
 	return records, nil
 }
 
+// VerifyPrefix walks every part file under prefix and fully decodes it,
+// returning the part and record counts. Because Get re-verifies block
+// checksums end-to-end and the record framing is length-prefixed, a clean
+// return means the staged data is structurally intact on every replica
+// path the read took — the `mrd dfsadmin verify` integrity check.
+func VerifyPrefix(fs dfs.FileSystem, prefix string) (parts, records int, err error) {
+	names, err := ListParts(fs, prefix)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, name := range names {
+		recs, err := LoadPart(fs, name)
+		if err != nil {
+			return parts, records, fmt.Errorf("dfsio: verify %s: %w", name, err)
+		}
+		parts++
+		records += len(recs)
+	}
+	return parts, records, nil
+}
+
 // ListParts returns the part files under prefix, in shard order.
 func ListParts(fs dfs.FileSystem, prefix string) ([]string, error) {
 	names, err := fs.List(prefix + "/part-")

@@ -246,3 +246,31 @@ func TestLoadDatasetErrors(t *testing.T) {
 		t.Fatal("want error for missing dataset")
 	}
 }
+
+func TestVerifyPrefix(t *testing.T) {
+	fs := dfs.NewMemFS()
+	records := make([]mapreduce.Pair, 25)
+	for i := range records {
+		records[i] = mapreduce.Pair{Key: "k", Value: []byte{byte(i)}}
+	}
+	if err := SavePairs(fs, "v/in", records, 4); err != nil {
+		t.Fatal(err)
+	}
+	parts, recs, err := VerifyPrefix(fs, "v/in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts != 4 || recs != 25 {
+		t.Fatalf("VerifyPrefix = %d parts, %d records; want 4, 25", parts, recs)
+	}
+	// A structurally broken part must fail verification.
+	if err := fs.Put("v/in/part-00002", []byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := VerifyPrefix(fs, "v/in"); err == nil {
+		t.Fatal("want error for broken part")
+	}
+	if _, _, err := VerifyPrefix(fs, "v/none"); err == nil {
+		t.Fatal("want error for missing prefix")
+	}
+}

@@ -1,0 +1,200 @@
+package rpcmr
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dfs"
+	"repro/internal/dfsio"
+	"repro/internal/mapreduce"
+)
+
+// startChaosDFS boots a DFS cluster with aggressive fault-tolerance
+// timings (death detected in ~200ms, re-replication sweep every 30ms) and
+// returns the handles the chaos tests need to aim faults.
+func startChaosDFS(t *testing.T, nodes int) (*dfs.NameNode, []*dfs.DataNode, *dfs.Client) {
+	t.Helper()
+	nn, err := dfs.NewNameNodeOpts("127.0.0.1:0", dfs.NameNodeOptions{
+		Replication:       2,
+		HeartbeatTimeout:  200 * time.Millisecond,
+		ReplicateInterval: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nn.Close() })
+	var dns []*dfs.DataNode
+	for i := 0; i < nodes; i++ {
+		dn, err := dfs.StartDataNodeOpts(nn.Addr(), "127.0.0.1:0", dfs.DataNodeOptions{
+			HeartbeatInterval: 40 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dns = append(dns, dn)
+		t.Cleanup(func() { dn.Close() })
+	}
+	c, err := dfs.NewClient(nn.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return nn, dns, c
+}
+
+// lshJob builds the paper's LSH-DDP density job, pinned to deterministic
+// task counts.
+func lshJob() *mapreduce.Job {
+	conf := mapreduce.Conf{}
+	conf.SetFloat("ddp.dc", 4.0)
+	conf.SetInt("ddp.dim", 2)
+	conf.SetInt("ddp.lsh.m", 4)
+	conf.SetInt("ddp.lsh.pi", 2)
+	conf.SetFloat("ddp.lsh.w", 12)
+	conf.SetInt64("ddp.seed", 7)
+	j := core.JobFactories()[core.JobLSHRho](conf)
+	j.NumReduces = 3
+	return j
+}
+
+// sortedPairs canonicalizes job output for bit-identical comparison.
+func sortedPairs(ps []mapreduce.Pair) []mapreduce.Pair {
+	out := append([]mapreduce.Pair(nil), ps...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return bytes.Compare(out[i].Value, out[j].Value) < 0
+	})
+	return out
+}
+
+func assertIdenticalOutput(t *testing.T, healthy, faulty []mapreduce.Pair) {
+	t.Helper()
+	a, b := sortedPairs(healthy), sortedPairs(faulty)
+	if len(a) != len(b) {
+		t.Fatalf("output sizes differ: healthy %d, faulty %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || !bytes.Equal(a[i].Value, b[i].Value) {
+			t.Fatalf("output diverges at %d: healthy %q=%q, faulty %q=%q",
+				i, a[i].Key, a[i].Value, b[i].Key, b[i].Value)
+		}
+	}
+}
+
+func waitCounter(t *testing.T, d time.Duration, nn *dfs.NameNode, name string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if nn.Counters()[name] > 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("counter %s never advanced: %v", name, nn.Counters())
+}
+
+// TestChaosDataNodeDeathMidJob is the headline acceptance test: an LSH-DDP
+// job runs on a 3-worker rpcmr cluster reading its input from DFS while a
+// datanode is killed mid-job (triggered by the first block read of the
+// faulty run, via a chaos hook on a surviving node). The job must complete
+// with output bit-identical to the fault-free run, and dfs.rereplications
+// must confirm the storage layer actually repaired itself.
+func TestChaosDataNodeDeathMidJob(t *testing.T) {
+	m, _ := startCluster(t, 3)
+	nn, dns, fsc := startChaosDFS(t, 3)
+
+	fsc.BlockSize = 1024 // multi-block parts so the kill lands mid-file
+	input := core.InputPairs(dataset.Blobs("chaos-kill", 600, 2, 4, 100, 3, 11))
+	if err := dfsio.SavePairs(fsc, "chaos/in", input, 6); err != nil {
+		t.Fatal(err)
+	}
+
+	healthy, err := m.RunDFS(lshJob(), nn.Addr(), "chaos/in")
+	if err != nil {
+		t.Fatalf("healthy run: %v", err)
+	}
+
+	// Chaos: when the faulty run's reads start flowing through dns[0],
+	// kill dns[1] — mid-job, with replicas of the input parts on it.
+	harness := chaos.New(42)
+	victim := harness.Register("dn1", dns[1].Close, nil)
+	trig := chaos.OnNth(2, func() { victim.Kill() })
+	dns[0].SetHooks(dfs.BlockHooks{BeforeRead: func(id int64) error { trig(); return nil }})
+	defer dns[0].SetHooks(dfs.BlockHooks{})
+
+	faulty, err := m.RunDFS(lshJob(), nn.Addr(), "chaos/in")
+	if err != nil {
+		t.Fatalf("run with datanode killed mid-job: %v", err)
+	}
+	if victim.Alive() {
+		t.Fatal("chaos trigger never fired — test exercised nothing")
+	}
+	assertIdenticalOutput(t, healthy.Output, faulty.Output)
+	waitCounter(t, 10*time.Second, nn, "dfs.rereplications")
+}
+
+// TestChaosCorruptBlockMidJob is the second acceptance scenario: one block
+// of the DFS-staged input has a bit flipped in its primary replica before
+// the job runs. The datanode's checksum verification must quarantine the
+// bad copy, the worker's read must fail over to the healthy replica, the
+// job output must be bit-identical to the clean run, and re-replication
+// must restore the lost copy.
+func TestChaosCorruptBlockMidJob(t *testing.T) {
+	m, _ := startCluster(t, 3)
+	nn, dns, fsc := startChaosDFS(t, 3)
+
+	fsc.BlockSize = 1024
+	input := core.InputPairs(dataset.Blobs("chaos-rot", 600, 2, 4, 100, 3, 11))
+	if err := fsioSave(fsc, "rot/in", input); err != nil {
+		t.Fatal(err)
+	}
+
+	healthy, err := m.RunDFS(lshJob(), nn.Addr(), "rot/in")
+	if err != nil {
+		t.Fatalf("healthy run: %v", err)
+	}
+
+	// Flip one seeded bit in the primary replica of the first part's
+	// first block.
+	parts, err := fsc.List("rot/in/")
+	if err != nil || len(parts) == 0 {
+		t.Fatalf("list parts: %v (%d)", err, len(parts))
+	}
+	locs, err := fsc.BlockLocations(parts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAddr := make(map[string]*dfs.DataNode)
+	for _, dn := range dns {
+		byAddr[dn.Addr()] = dn
+	}
+	harness := chaos.New(7)
+	victim := byAddr[locs[0].Replicas[0]]
+	if err := victim.Corrupt(locs[0].ID, harness.Intn(1<<20)); err != nil {
+		t.Fatal(err)
+	}
+
+	faulty, err := m.RunDFS(lshJob(), nn.Addr(), "rot/in")
+	if err != nil {
+		t.Fatalf("run with corrupt block: %v", err)
+	}
+	assertIdenticalOutput(t, healthy.Output, faulty.Output)
+	waitCounter(t, 10*time.Second, nn, "dfs.blocks.corrupt")
+	waitCounter(t, 10*time.Second, nn, "dfs.rereplications")
+}
+
+// fsioSave stages input pairs as 6 part files under prefix.
+func fsioSave(fsc *dfs.Client, prefix string, input []mapreduce.Pair) error {
+	if err := dfsio.SavePairs(fsc, prefix, input, 6); err != nil {
+		return fmt.Errorf("stage input: %w", err)
+	}
+	return nil
+}

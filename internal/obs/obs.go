@@ -62,8 +62,15 @@ const (
 // engine never emits it.
 const PhaseFetch Phase = "fetch"
 
+// PhaseRereplicate is the storage layer's background block repair: one
+// span per completed re-replication (dfs namenode), whose Wall runs from
+// the order being scheduled to the target datanode's confirming block
+// report and whose Bytes are the block size copied. MapReduce engines
+// never emit it.
+const PhaseRereplicate Phase = "rereplicate"
+
 // PhaseOrder lists the phases in dataflow order, for stable rendering.
-var PhaseOrder = []Phase{PhaseMap, PhaseCombine, PhaseSort, PhaseShuffle, PhaseFetch, PhaseReduce}
+var PhaseOrder = []Phase{PhaseMap, PhaseCombine, PhaseSort, PhaseShuffle, PhaseFetch, PhaseReduce, PhaseRereplicate}
 
 // Span records one task-phase execution. Worker is the rpcmr worker id
 // that ran the task (0 on the local engine).
