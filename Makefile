@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet doccheck race bench bench-hot bench-shuffle experiments examples clean
+.PHONY: all check build test test-short vet doccheck race bench bench-hot bench-shuffle bench-serve experiments examples clean
 
 all: check
 
@@ -29,9 +29,10 @@ test-short:
 
 # The engines are the concurrency-heavy core; keep them race-clean. The
 # kernels package rides along for its intra-partition parallel merge path,
-# dfs/chaos for the heartbeat + re-replication machinery and its harness.
+# dfs/chaos for the heartbeat + re-replication machinery and its harness,
+# serve/model for the query server's batching, shedding, and hot reload.
 race:
-	$(GO) test -race ./internal/mapreduce/... ./internal/mapreduce/rpcmr/... ./internal/kernels/... ./internal/dfs/... ./internal/chaos/...
+	$(GO) test -race ./internal/mapreduce/... ./internal/mapreduce/rpcmr/... ./internal/kernels/... ./internal/dfs/... ./internal/chaos/... ./internal/serve/... ./internal/model/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -54,6 +55,13 @@ bench-hot:
 bench-shuffle:
 	$(GO) test -bench BenchmarkShuffleTransport -run '^$$' -benchmem \
 		-benchtime $(BENCHTIME) ./internal/mapreduce/rpcmr/
+
+# Online-serving benchmark: train a model in-process, then sweep closed-loop
+# client counts over the LSH-pruned and exact-scan serving paths (numbers
+# recorded in BENCH_PR5.json). The queue bound is kept below the top client
+# count so the shed path is exercised too.
+bench-serve:
+	$(GO) run ./cmd/serveload -self -n 50000 -dim 8 -clients 1,8,64 -queue 32 -duration 3s -json
 
 # Regenerate every table/figure of the paper (several minutes at full scale).
 experiments:

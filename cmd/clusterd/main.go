@@ -1,0 +1,140 @@
+// Command clusterd is the online cluster-serving daemon: it loads a cluster
+// model artifact (exported by `ddp -export-model`) and answers point→cluster
+// assignment queries over HTTP/JSON, using the model's LSH parameters as an
+// approximate-nearest-neighbor index so a query scans a few buckets instead
+// of the whole labeled dataset.
+//
+// Usage:
+//
+//	clusterd -model model.ddpm -listen :8080
+//	clusterd -model /models/m.ddpm -namenode host:9000   # artifact in the DFS
+//
+// Endpoints:
+//
+//	POST /assign  {"points": [[x1,x2,...], ...]}
+//	              → {"results": [{"cluster":..,"halo":..,"nearest":..,
+//	                 "dist":..,"peak_dist":..,"exact":..}, ...]}
+//	GET  /healthz liveness/readiness probe (503 while draining or modelless)
+//	GET  /statsz  serve.* counters, latency quantiles, queue occupancy
+//	POST /reload  re-read the model artifact and swap it in atomically
+//
+// SIGHUP also triggers a reload; SIGINT/SIGTERM drain in-flight requests and
+// exit. Concurrent requests are micro-batched into single kernel passes, and
+// a bounded admission queue sheds excess load with 429 instead of queueing
+// without bound — see OPERATIONS.md for the runbook.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/dfsio"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "cluster model artifact: local path, or DFS path with -namenode (required)")
+		namenode  = flag.String("namenode", "", "load the model from the mini-DFS at this namenode address")
+		listen    = flag.String("listen", ":8080", "HTTP listen address")
+		batchMax  = flag.Int("batch-max", 64, "flush a batch at this many query points (serve.batch.max)")
+		linger    = flag.Duration("batch-linger", 0, "wait this long for more requests before flushing a non-full batch (serve.batch.linger)")
+		queue     = flag.Int("queue", 128, "admission queue bound; excess requests get 429 (serve.queue.depth)")
+		workers   = flag.Int("workers", 1, "concurrent requests processed per batch (serve.workers)")
+		maxPts    = flag.Int("max-points", 1024, "maximum points per request (serve.max.request.points)")
+		exact     = flag.Bool("exact", false, "disable LSH pruning; answer every query by full scan (serve.exact)")
+		traceOut  = flag.String("trace", "", "write a JSONL trace with one span per request to this file on exit (debugging; unbounded)")
+		verbose   = flag.Bool("v", false, "log server events")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "clusterd: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	loader := func() (*model.Model, error) { return model.ReadFile(*modelPath) }
+	if *namenode != "" {
+		loader = func() (*model.Model, error) {
+			client, err := dfs.NewClient(*namenode)
+			if err != nil {
+				return nil, err
+			}
+			defer client.Close()
+			return dfsio.LoadModel(client, *modelPath)
+		}
+	}
+
+	cfg := serve.Config{
+		BatchMax:         *batchMax,
+		BatchLinger:      *linger,
+		QueueDepth:       *queue,
+		Workers:          *workers,
+		MaxRequestPoints: *maxPts,
+		ExactOnly:        *exact,
+		Loader:           loader,
+	}
+	if *verbose {
+		cfg.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	var trace *obs.Trace
+	if *traceOut != "" {
+		trace = &obs.Trace{}
+		cfg.Trace = trace
+	}
+	if *pprofAddr != "" {
+		p, err := obs.StartPprof(*pprofAddr)
+		fatal(err)
+		fmt.Fprintf(os.Stderr, "clusterd: pprof on http://%s/debug/pprof/\n", p.Addr())
+	}
+
+	srv := serve.New(cfg)
+	fatal(srv.Reload()) // initial model load, through the same path SIGHUP uses
+	fatal(srv.Start(*listen))
+	fmt.Fprintf(os.Stderr, "clusterd: serving on %s (model %s)\n", srv.Addr(), *modelPath)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	for s := range sig {
+		if s == syscall.SIGHUP {
+			if err := srv.Reload(); err != nil {
+				fmt.Fprintf(os.Stderr, "clusterd: reload failed, keeping old model: %v\n", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "clusterd: model reloaded")
+			}
+			continue
+		}
+		break
+	}
+
+	fmt.Fprintln(os.Stderr, "clusterd: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	fatal(srv.Shutdown(ctx))
+	fmt.Fprint(os.Stderr, srv.Counters().String())
+	if trace != nil {
+		f, err := os.Create(*traceOut)
+		fatal(err)
+		fatal(trace.WriteJSONL(f))
+		fatal(f.Close())
+		fmt.Fprintf(os.Stderr, "clusterd: trace written to %s\n", *traceOut)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -8,6 +8,7 @@
 //	ddp -input points.csv -algo basic -graph        # print decision graph
 //	ddp -input points.csv -algo eddpc -rho-min 14 -delta-min 40
 //	ddp -input points.csv -algo lsh -kernel gaussian -halo
+//	ddp -input points.csv -algo lsh -k 7 -export-model model.ddpm
 //
 // Distributed usage — ddp becomes the MapReduce master and waits for
 // workers (started with `mrd worker -master <this host>:7070`):
@@ -55,6 +56,7 @@ func main() {
 		graph    = flag.Bool("graph", false, "print an ASCII decision graph")
 		svg      = flag.String("svg", "", "write the decision graph as SVG to this file")
 		halo     = flag.Bool("halo", false, "also flag halo (border/noise) points in the output")
+		export   = flag.String("export-model", "", "write a cluster model artifact (servable by clusterd) to this file")
 		out      = flag.String("out", "", "write labels CSV here ('-' or empty = stdout)")
 		verbose  = flag.Bool("v", false, "log per-job progress")
 		traceOut = flag.String("trace", "", "write a JSONL job trace (task phase spans) to this file")
@@ -136,12 +138,26 @@ func main() {
 	fatal(err)
 
 	var haloFlags []bool
-	if *halo {
+	var border []float64
+	if *halo || *export != "" {
+		// The model artifact carries border densities so clusterd can flag
+		// halo points, so -export-model implies the halo job.
 		hr, err := core.RunLSHHalo(ds, res.Rho, labels, res.Stats.Dc, core.LSHConfig{
 			Config: cfg, Accuracy: *accuracy, M: *mFlag, Pi: *piFlag,
 		})
 		fatal(err)
-		haloFlags = hr.Halo
+		border = hr.Border
+		if *halo {
+			haloFlags = hr.Halo
+		}
+	}
+
+	if *export != "" {
+		mdl, err := core.ExportModel(ds, res, peaks, labels, border, *seed)
+		fatal(err)
+		fatal(mdl.WriteFile(*export))
+		fmt.Fprintf(os.Stderr, "ddp: model artifact written to %s (%d points, %d clusters)\n",
+			*export, mdl.N(), mdl.NumClusters())
 	}
 
 	fmt.Fprintf(os.Stderr, "ddp: %s on %d points (dim %d): %d clusters, dc=%.4g, %.2fs, shuffle=%.2fMB, dist=%d\n",

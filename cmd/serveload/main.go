@@ -1,0 +1,284 @@
+// Command serveload is a closed-loop load generator for the clusterd query
+// server: N client goroutines each keep exactly one /assign request in
+// flight, so offered load rises with concurrency and the server's batching
+// and load-shedding behavior can be measured at each level.
+//
+// Two modes:
+//
+//	serveload -addr host:8080 -input points.csv       # drive a running clusterd
+//	serveload -self -n 20000 -clients 1,8,64 -json    # end-to-end benchmark
+//
+// -self trains LSH-DDP on a seeded blob dataset in-process, exports the
+// model, starts a serve.Server on a loopback port, and sweeps the client
+// levels twice — once LSH-pruned, once exact-scan — printing per-level
+// QPS, p50/p99 latency, shed rate, and average candidate rows scanned.
+// This is what `make bench-serve` runs (results in BENCH_PR5.json).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/points"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "target server address (host:port); empty requires -self")
+		input    = flag.String("input", "", "CSV of query points (required with -addr)")
+		selfHost = flag.Bool("self", false, "train a model and host the server in-process")
+		n        = flag.Int("n", 20000, "self: training points")
+		dim      = flag.Int("dim", 2, "self: dimensionality")
+		k        = flag.Int("k", 8, "self: clusters")
+		seed     = flag.Int64("seed", 1, "seed for data, training, and query jitter")
+		clients  = flag.String("clients", "1,8,64", "comma-separated closed-loop client counts")
+		duration = flag.Duration("duration", 3*time.Second, "measurement window per level")
+		queue    = flag.Int("queue", 32, "self: server admission queue bound")
+		batchMax = flag.Int("batch-max", 64, "self: server batch size")
+		workers  = flag.Int("workers", 1, "self: server batch workers")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON summary")
+	)
+	flag.Parse()
+
+	levels, err := parseLevels(*clients)
+	fatal(err)
+
+	var results []levelResult
+	switch {
+	case *selfHost:
+		results, err = runSelf(*n, *dim, *k, *seed, levels, *duration, *queue, *batchMax, *workers)
+	case *addr != "":
+		if *input == "" {
+			fatal(fmt.Errorf("-addr mode needs -input (query points CSV)"))
+		}
+		ds, derr := dataset.ReadCSVFile(*input, "queries", false)
+		fatal(derr)
+		results, err = sweep(*addr, "remote", queriesOf(ds), levels, *duration)
+	default:
+		fatal(fmt.Errorf("need -addr or -self"))
+	}
+	fatal(err)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatal(enc.Encode(map[string]any{"levels": results}))
+		return
+	}
+	for _, r := range results {
+		fmt.Printf("%-6s clients=%-3d qps=%-8.0f p50=%-10s p99=%-10s shed=%.1f%% avg_cand=%.0f\n",
+			r.Mode, r.Clients, r.QPS, time.Duration(r.P50us)*time.Microsecond,
+			time.Duration(r.P99us)*time.Microsecond, 100*r.ShedRate, r.AvgCandidates)
+	}
+}
+
+// levelResult is one (mode, client-count) measurement.
+type levelResult struct {
+	Mode          string  `json:"mode"` // "lsh" | "exact" | "remote"
+	Clients       int     `json:"clients"`
+	DurationS     float64 `json:"duration_s"`
+	Requests      int64   `json:"requests"`
+	Shed          int64   `json:"shed"`
+	Errors        int64   `json:"errors"`
+	QPS           float64 `json:"qps"`
+	P50us         int64   `json:"p50_us"`
+	P99us         int64   `json:"p99_us"`
+	ShedRate      float64 `json:"shed_rate"`
+	AvgCandidates float64 `json:"avg_candidates"`
+}
+
+func parseLevels(s string) ([]int, error) {
+	var levels []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad client count %q", part)
+		}
+		levels = append(levels, v)
+	}
+	return levels, nil
+}
+
+// runSelf trains, exports, and benchmarks both serving paths in-process.
+func runSelf(n, dim, k int, seed int64, levels []int, dur time.Duration, queue, batchMax, workers int) ([]levelResult, error) {
+	ds := dataset.Blobs("bench-serve", n, dim, k, 100, 2.5, seed)
+	fmt.Fprintf(os.Stderr, "serveload: training LSH-DDP on %d points (dim %d)...\n", n, dim)
+	res, err := core.RunLSHDDP(ds, core.LSHConfig{Config: core.Config{Seed: seed}})
+	if err != nil {
+		return nil, err
+	}
+	peaks, labels, err := res.Cluster(ds, core.SelectTopK(k))
+	if err != nil {
+		return nil, err
+	}
+	hr, err := core.RunLSHHalo(ds, res.Rho, labels, res.Stats.Dc, core.LSHConfig{Config: core.Config{Seed: seed}})
+	if err != nil {
+		return nil, err
+	}
+	mdl, err := core.ExportModel(ds, res, peaks, labels, hr.Border, seed)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "serveload: model ready: %d clusters, dc=%.4g, M=%d pi=%d w=%.4g\n",
+		len(peaks), res.Stats.Dc, mdl.LSH.M, mdl.LSH.Pi, mdl.LSH.W)
+
+	// Queries: training points jittered by a d_c/2-scale Gaussian, so the
+	// candidate sets look like real nearby traffic rather than replays.
+	rng := points.NewRand(seed + 99)
+	queries := make([][]float64, n)
+	for i, p := range ds.Points {
+		q := make([]float64, dim)
+		for j, x := range p.Pos {
+			q[j] = x + rng.NormFloat64()*res.Stats.Dc/2
+		}
+		queries[i] = q
+	}
+
+	var all []levelResult
+	for _, mode := range []struct {
+		name  string
+		exact bool
+	}{{"lsh", false}, {"exact", true}} {
+		srv := serve.New(serve.Config{
+			BatchMax:   batchMax,
+			QueueDepth: queue,
+			Workers:    workers,
+			ExactOnly:  mode.exact,
+		})
+		if err := srv.SetModel(mdl); err != nil {
+			return nil, err
+		}
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			return nil, err
+		}
+		rs, err := sweep(srv.Addr(), mode.name, queries, levels, dur)
+		if err != nil {
+			return nil, err
+		}
+		// Attribute candidate scan volume from the server's own counters.
+		pts := srv.Counters().Get(serve.CtrPoints)
+		if pts > 0 {
+			avg := float64(srv.Counters().Get(serve.CtrCandidates)) / float64(pts)
+			for i := range rs {
+				rs[i].AvgCandidates = avg
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			cancel()
+			return nil, err
+		}
+		cancel()
+		all = append(all, rs...)
+	}
+	return all, nil
+}
+
+func queriesOf(ds *points.Dataset) [][]float64 {
+	qs := make([][]float64, ds.N())
+	for i, p := range ds.Points {
+		qs[i] = p.Pos
+	}
+	return qs
+}
+
+// sweep runs the closed loop at every client level against one server.
+func sweep(addr, mode string, queries [][]float64, levels []int, dur time.Duration) ([]levelResult, error) {
+	var out []levelResult
+	for _, c := range levels {
+		r, err := runLevel(addr, queries, c, dur)
+		if err != nil {
+			return nil, err
+		}
+		r.Mode = mode
+		fmt.Fprintf(os.Stderr, "serveload: %s clients=%d: %d req (%0.f qps), p50=%s p99=%s, shed=%d, errors=%d\n",
+			mode, c, r.Requests, r.QPS, time.Duration(r.P50us)*time.Microsecond,
+			time.Duration(r.P99us)*time.Microsecond, r.Shed, r.Errors)
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+// runLevel drives `clients` closed-loop clients for dur.
+func runLevel(addr string, queries [][]float64, clients int, dur time.Duration) (*levelResult, error) {
+	transport := &http.Transport{MaxIdleConnsPerHost: clients}
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+	defer transport.CloseIdleConnections()
+	url := "http://" + addr + "/assign"
+
+	type clientStats struct {
+		lat          []time.Duration
+		shed, errors int64
+	}
+	stats := make([]clientStats, clients)
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			st := &stats[c]
+			for i := c; time.Now().Before(deadline); i++ {
+				q := queries[i%len(queries)]
+				body, _ := json.Marshal(map[string][][]float64{"points": {q}})
+				start := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					st.errors++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					st.lat = append(st.lat, time.Since(start))
+				case http.StatusTooManyRequests:
+					st.shed++
+				default:
+					st.errors++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	r := &levelResult{Clients: clients, DurationS: dur.Seconds()}
+	var all []time.Duration
+	for i := range stats {
+		all = append(all, stats[i].lat...)
+		r.Shed += stats[i].shed
+		r.Errors += stats[i].errors
+	}
+	r.Requests = int64(len(all))
+	r.QPS = float64(len(all)) / dur.Seconds()
+	if attempts := r.Requests + r.Shed; attempts > 0 {
+		r.ShedRate = float64(r.Shed) / float64(attempts)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		r.P50us = all[len(all)/2].Microseconds()
+		r.P99us = all[(len(all)*99)/100].Microseconds()
+	}
+	return r, nil
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serveload: %v\n", err)
+		os.Exit(1)
+	}
+}

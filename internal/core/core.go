@@ -21,9 +21,7 @@
 package core
 
 import (
-	"encoding/binary"
 	"fmt"
-	"math"
 	"sort"
 	"time"
 
@@ -278,7 +276,7 @@ func DcSampleJob(conf mapreduce.Conf) *mapreduce.Job {
 			if idx < 0 {
 				idx = 0
 			}
-			out.Emit("dc", encodeFloat(dists[idx]))
+			out.Emit("dc", points.EncodeFloat64(dists[idx]))
 			return nil
 		},
 	}
@@ -310,7 +308,7 @@ func ChooseDc(r mapreduce.Runner, ds *points.Dataset, cfg *Config, input []mapre
 	if len(out) != 1 {
 		return 0, fmt.Errorf("core: d_c job produced %d records, want 1", len(out))
 	}
-	dc := decodeFloat(out[0].Value)
+	dc := points.DecodeFloat64(out[0].Value)
 	if dc <= 0 {
 		return 0, fmt.Errorf("core: sampled d_c is %v; data set may be degenerate (all points identical)", dc)
 	}
@@ -325,14 +323,6 @@ func sampleHash(id int32, seed int64) float64 {
 	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
 	x ^= x >> 31
 	return float64(x>>11) / (1 << 53)
-}
-
-func encodeFloat(v float64) []byte {
-	return binary.LittleEndian.AppendUint64(nil, math.Float64bits(v))
-}
-
-func decodeFloat(b []byte) float64 {
-	return math.Float64frombits(binary.LittleEndian.Uint64(b))
 }
 
 // CollectStats folds runner totals — job stats, counters, and per-phase

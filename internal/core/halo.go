@@ -118,7 +118,7 @@ func LSHHaloJob(conf mapreduce.Conf) *mapreduce.Job {
 			}
 			ctx.Counters.Cell(mapreduce.CtrDistanceComputations).Add(nd)
 			for c, b := range border {
-				out.Emit(clusterKey(c), encodeFloat(b))
+				out.Emit(clusterKey(c), points.EncodeFloat64(b))
 			}
 			return nil
 		},
@@ -132,11 +132,11 @@ func LSHHaloAggJob(conf mapreduce.Conf) *mapreduce.Job {
 	fold := func(_ *mapreduce.TaskContext, key string, values [][]byte, out mapreduce.Emitter) error {
 		var maxB float64
 		for _, v := range values {
-			if b := decodeFloat(v); b > maxB {
+			if b := points.DecodeFloat64(v); b > maxB {
 				maxB = b
 			}
 		}
-		out.Emit(key, encodeFloat(maxB))
+		out.Emit(key, points.EncodeFloat64(maxB))
 		return nil
 	}
 	return &mapreduce.Job{
@@ -218,7 +218,7 @@ func RunLSHHalo(ds *points.Dataset, rho []float64, labels []int32, dc float64, c
 		if c < 0 || c >= nClusters {
 			return nil, fmt.Errorf("core: cluster key %d out of range", c)
 		}
-		res.Border[c] = decodeFloat(p.Value)
+		res.Border[c] = points.DecodeFloat64(p.Value)
 	}
 	for i := range res.Halo {
 		res.Halo[i] = rho[i] < res.Border[labels[i]]

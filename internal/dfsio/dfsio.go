@@ -18,8 +18,29 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dfs"
 	"repro/internal/mapreduce"
+	"repro/internal/model"
 	"repro/internal/points"
 )
+
+// SaveModel stores an encoded cluster model artifact as a single DFS file.
+// The artifact's own header checksum rides inside the blob, on top of the
+// DFS's per-replica block checksums.
+func SaveModel(fs dfs.FileSystem, name string, m *model.Model) error {
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	return fs.Put(name, data)
+}
+
+// LoadModel fetches and verifies a cluster model artifact from the DFS.
+func LoadModel(fs dfs.FileSystem, name string) (*model.Model, error) {
+	data, err := fs.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return model.Decode(data)
+}
 
 // partName formats the canonical shard file name.
 func partName(prefix string, i int) string {

@@ -191,7 +191,7 @@ func DeltaLocalJob(conf mapreduce.Conf) *mapreduce.Job {
 // query record: RhoPoint | float64 ub | int32 ubUpslope.
 func encodeQuery(rp points.RhoPoint, ub float64, ubUp int32) []byte {
 	buf := points.AppendRhoPoint(nil, rp)
-	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(ub))
+	buf = points.AppendFloat64(buf, ub)
 	return binary.LittleEndian.AppendUint32(buf, uint32(ubUp))
 }
 
@@ -203,7 +203,7 @@ func decodeQuery(v []byte) (points.RhoPoint, float64, int32, error) {
 	if len(rest) != 12 {
 		return points.RhoPoint{}, 0, 0, fmt.Errorf("eddpc: query tail is %d bytes, want 12", len(rest))
 	}
-	ub := math.Float64frombits(binary.LittleEndian.Uint64(rest))
+	ub := points.DecodeFloat64(rest)
 	up := int32(binary.LittleEndian.Uint32(rest[8:]))
 	return rp, ub, up, nil
 }

@@ -129,7 +129,7 @@ type distRecord struct {
 func encodeDistRecord(rec distRecord) []byte {
 	buf := binary.LittleEndian.AppendUint32(nil, uint32(rec.i))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.j))
-	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.d))
+	return points.AppendFloat64(buf, rec.d)
 }
 
 func decodeDistRecord(v []byte) (distRecord, error) {
@@ -139,14 +139,14 @@ func decodeDistRecord(v []byte) (distRecord, error) {
 	return distRecord{
 		i: int32(binary.LittleEndian.Uint32(v)),
 		j: int32(binary.LittleEndian.Uint32(v[4:])),
-		d: math.Float64frombits(binary.LittleEndian.Uint64(v[8:])),
+		d: points.DecodeFloat64(v[8:]),
 	}, nil
 }
 
 func encodeDistRecordRho(rec distRecord, rhoI, rhoJ float64) []byte {
 	buf := encodeDistRecord(rec)
-	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rhoI))
-	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(rhoJ))
+	buf = points.AppendFloat64(buf, rhoI)
+	return points.AppendFloat64(buf, rhoJ)
 }
 
 func decodeDistRecordRho(v []byte) (distRecord, float64, float64, error) {
@@ -155,8 +155,8 @@ func decodeDistRecordRho(v []byte) (distRecord, float64, float64, error) {
 		return distRecord{}, 0, 0, fmt.Errorf("short joined distance record")
 	}
 	return rec,
-		math.Float64frombits(binary.LittleEndian.Uint64(v[16:])),
-		math.Float64frombits(binary.LittleEndian.Uint64(v[24:])),
+		points.DecodeFloat64(v[16:]),
+		points.DecodeFloat64(v[24:]),
 		nil
 }
 

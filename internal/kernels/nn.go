@@ -1,0 +1,67 @@
+package kernels
+
+// Nearest-neighbor scan kernels for the online serving path: given a query
+// position and the flat SoA coordinate block of a cluster model, find the
+// closest stored row. The serving engine calls NNRows over the LSH
+// candidate union of a query (usually a few hundred rows) and NNRange as
+// the exact full-scan fallback; both share the tie rule "lowest row index
+// wins", so a pruned scan that happens to contain the true nearest row
+// returns exactly what the exact scan would. NNRows enforces the rule with
+// an explicit index comparison on equal distances, so callers need not
+// sort the candidate list — sorting it would cost more than the scan.
+
+// NNRange scans rows [lo, hi) of the flat row-major block data (rows of
+// length dim) and returns the row index nearest to q plus the squared
+// distance. Returns (-1, +Inf) on an empty range.
+func NNRange(data []float64, dim int, q []float64, lo, hi int) (int, float64) {
+	best, best2 := -1, inf
+	if dim == 2 {
+		qx, qy := q[0], q[1]
+		for i := lo; i < hi; i++ {
+			d0 := qx - data[2*i]
+			d1 := qy - data[2*i+1]
+			d2 := d0 * d0
+			d2 += d1 * d1
+			if d2 < best2 {
+				best, best2 = i, d2
+			}
+		}
+		return best, best2
+	}
+	for i := lo; i < hi; i++ {
+		d2 := sqDistFlat(q, data[i*dim:(i+1)*dim], dim)
+		if d2 < best2 {
+			best, best2 = i, d2
+		}
+	}
+	return best, best2
+}
+
+// NNRows scans only the listed rows (any order, duplicates allowed) and
+// returns the nearest row index plus the squared distance; equal distances
+// resolve to the lowest row index, matching NNRange's ascending scan.
+// Returns (-1, +Inf) when rows is empty.
+func NNRows(data []float64, dim int, q []float64, rows []int32) (int, float64) {
+	best, best2 := -1, inf
+	if dim == 2 {
+		qx, qy := q[0], q[1]
+		for _, r := range rows {
+			d0 := qx - data[2*r]
+			d1 := qy - data[2*r+1]
+			d2 := d0 * d0
+			d2 += d1 * d1
+			if d2 < best2 || (d2 == best2 && int(r) < best) {
+				best, best2 = int(r), d2
+			}
+		}
+		return best, best2
+	}
+	for _, r := range rows {
+		i := int(r)
+		d2 := sqDistFlat(q, data[i*dim:(i+1)*dim], dim)
+		if d2 < best2 || (d2 == best2 && i < best) {
+			best, best2 = i, d2
+		}
+	}
+	return best, best2
+}

@@ -1,0 +1,82 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/points"
+)
+
+// naiveNN is the reference: first row in ascending order wins ties.
+func naiveNN(data []float64, dim int, q []float64, rows []int32) (int, float64) {
+	best, best2 := -1, math.Inf(1)
+	for _, r := range rows {
+		i := int(r)
+		var d2 float64
+		for j := 0; j < dim; j++ {
+			d := q[j] - data[i*dim+j]
+			d2 += d * d
+		}
+		if d2 < best2 {
+			best, best2 = i, d2
+		}
+	}
+	return best, best2
+}
+
+func TestNNAgainstNaive(t *testing.T) {
+	rng := points.NewRand(5)
+	for _, dim := range []int{2, 3, 7} { // dim 2 exercises the fast path
+		n := 200
+		data := make([]float64, n*dim)
+		for i := range data {
+			data[i] = rng.Float64() * 10
+		}
+		allRows := make([]int32, n)
+		for i := range allRows {
+			allRows[i] = int32(i)
+		}
+		for trial := 0; trial < 50; trial++ {
+			q := make([]float64, dim)
+			for j := range q {
+				q[j] = rng.Float64() * 10
+			}
+			wantI, want2 := naiveNN(data, dim, q, allRows)
+			if gotI, got2 := NNRange(data, dim, q, 0, n); gotI != wantI || got2 != want2 {
+				t.Fatalf("dim %d: NNRange = (%d, %v), want (%d, %v)", dim, gotI, got2, wantI, want2)
+			}
+			// A strided subset, still ascending.
+			var rows []int32
+			for i := trial % 3; i < n; i += 3 {
+				rows = append(rows, int32(i))
+			}
+			wantI, want2 = naiveNN(data, dim, q, rows)
+			if gotI, got2 := NNRows(data, dim, q, rows); gotI != wantI || got2 != want2 {
+				t.Fatalf("dim %d: NNRows = (%d, %v), want (%d, %v)", dim, gotI, got2, wantI, want2)
+			}
+		}
+	}
+}
+
+// Ties break to the lowest row index on both paths.
+func TestNNTieRule(t *testing.T) {
+	data := []float64{1, 1, 5, 5, 1, 1} // rows 0 and 2 identical
+	q := []float64{1, 2}
+	if i, _ := NNRange(data, 2, q, 0, 3); i != 0 {
+		t.Fatalf("NNRange tie chose row %d, want 0", i)
+	}
+	// Order must not matter: the index tie-break picks row 0 even when it
+	// is visited last.
+	if i, _ := NNRows(data, 2, q, []int32{2, 1, 0}); i != 0 {
+		t.Fatalf("NNRows tie chose row %d, want 0", i)
+	}
+}
+
+func TestNNEmpty(t *testing.T) {
+	if i, d2 := NNRange(nil, 2, []float64{0, 0}, 0, 0); i != -1 || !math.IsInf(d2, 1) {
+		t.Fatalf("empty NNRange = (%d, %v)", i, d2)
+	}
+	if i, d2 := NNRows(nil, 2, []float64{0, 0}, nil); i != -1 || !math.IsInf(d2, 1) {
+		t.Fatalf("empty NNRows = (%d, %v)", i, d2)
+	}
+}

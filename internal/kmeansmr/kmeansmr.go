@@ -236,7 +236,7 @@ func encodePartial(count int64, sum points.Vector) []byte {
 	buf := binary.LittleEndian.AppendUint64(nil, uint64(count))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sum)))
 	for _, x := range sum {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		buf = points.AppendFloat64(buf, x)
 	}
 	return buf
 }
@@ -252,7 +252,7 @@ func decodePartial(v []byte) (int64, points.Vector, error) {
 	}
 	sum := make(points.Vector, dim)
 	for j := 0; j < dim; j++ {
-		sum[j] = math.Float64frombits(binary.LittleEndian.Uint64(v[12+8*j:]))
+		sum[j] = points.DecodeFloat64(v[12+8*j:])
 	}
 	return count, sum, nil
 }

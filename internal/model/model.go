@@ -1,0 +1,331 @@
+// Package model defines the versioned cluster model artifact that bridges
+// offline training and online serving: everything a query server needs to
+// assign new points to the clusters an LSH-DDP (or Basic-DDP) run produced,
+// frozen into one self-describing blob.
+//
+// An artifact carries the labeled dataset in flat SoA form (row i is point
+// ID i, matching the repository's dense-ID invariant), the per-point
+// densities ρ̂, the selected peak IDs, per-cluster halo border densities
+// ρ̂_b, the cutoff d_c, and the LSH layout parameters (seed, M, π, w). The
+// layouts themselves are never serialized: like the distributed workers,
+// the serving side regenerates them deterministically from the parameters
+// (lsh.NewLayouts is seeded), so train-time and serve-time bucketing agree
+// by construction.
+//
+// On disk an artifact is a fixed header (magic, format version, CRC32-C of
+// the body, body length) followed by the body: named sections in the same
+// length-prefixed frame layout the shuffle spill files and the streaming
+// transport use (mapreduce.AppendFrame / DecodeFrames). Readers verify the
+// checksum before touching the body and reject unknown format versions, so
+// a truncated or bit-flipped artifact surfaces as an error, never as a
+// silently wrong model. Unknown section names are skipped for forward
+// compatibility.
+package model
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/lsh"
+	"repro/internal/mapreduce"
+	"repro/internal/points"
+)
+
+// magic identifies a cluster model artifact; Version is the format version
+// this package reads and writes.
+const (
+	magic   = "DDPMODL1"
+	Version = 1
+)
+
+// headerLen is magic(8) + version(u32) + crc32c(u32) + bodyLen(u64).
+const headerLen = 8 + 4 + 4 + 8
+
+// castagnoli is the CRC32-C table, the same polynomial the DFS block store
+// checksums replicas with.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Params are the LSH layout parameters of the training run. M == 0 means
+// the model was exported from a run without LSH (Basic-DDP or the exact
+// reference); such a model serves through the exact-scan path only.
+type Params struct {
+	Seed int64
+	M    int
+	Pi   int
+	W    float64
+}
+
+// Model is one deserialized cluster model artifact.
+type Model struct {
+	// Name labels the training dataset (diagnostic only).
+	Name string
+	// Dim is the point dimensionality.
+	Dim int
+	// Dc is the cutoff distance of the training run.
+	Dc float64
+	// LSH holds the layout parameters to regenerate the hash groups.
+	LSH Params
+	// Data is the labeled dataset, row-major n×Dim; row i is point ID i.
+	Data []float64
+	// Rho is the per-point (approximate) density, indexed like Data rows.
+	Rho []float64
+	// Labels is the per-point cluster label, an index into Peaks.
+	Labels []int32
+	// Peaks holds the selected peak point IDs; cluster c's peak is row
+	// Peaks[c].
+	Peaks []int32
+	// Border is the per-cluster halo border density ρ̂_b (len(Peaks)
+	// entries). All-zero when the training run skipped halo detection, in
+	// which case no served point is flagged halo.
+	Border []float64
+}
+
+// N returns the number of stored points.
+func (m *Model) N() int { return len(m.Labels) }
+
+// NumClusters returns the number of clusters (selected peaks).
+func (m *Model) NumClusters() int { return len(m.Peaks) }
+
+// Row returns row i of the stored dataset, aliasing Data.
+func (m *Model) Row(i int) points.Vector {
+	return m.Data[i*m.Dim : (i+1)*m.Dim]
+}
+
+// Layouts regenerates the LSH layouts from the stored parameters, or nil
+// when the model carries none (LSH.M == 0).
+func (m *Model) Layouts() *lsh.Layouts {
+	if m.LSH.M <= 0 {
+		return nil
+	}
+	return lsh.NewLayouts(m.Dim, m.LSH.M, m.LSH.Pi, m.LSH.W, m.LSH.Seed)
+}
+
+// Validate checks the internal consistency of the model.
+func (m *Model) Validate() error {
+	n := m.N()
+	if n == 0 {
+		return fmt.Errorf("model: no points")
+	}
+	if m.Dim <= 0 {
+		return fmt.Errorf("model: non-positive dim %d", m.Dim)
+	}
+	if len(m.Data) != n*m.Dim {
+		return fmt.Errorf("model: %d coordinates for %d points of dim %d", len(m.Data), n, m.Dim)
+	}
+	if len(m.Rho) != n {
+		return fmt.Errorf("model: %d densities for %d points", len(m.Rho), n)
+	}
+	if len(m.Peaks) == 0 {
+		return fmt.Errorf("model: no peaks")
+	}
+	if len(m.Border) != len(m.Peaks) {
+		return fmt.Errorf("model: %d border densities for %d clusters", len(m.Border), len(m.Peaks))
+	}
+	for c, p := range m.Peaks {
+		if p < 0 || int(p) >= n {
+			return fmt.Errorf("model: peak %d has point ID %d, want [0,%d)", c, p, n)
+		}
+	}
+	for i, l := range m.Labels {
+		if l < 0 || int(l) >= len(m.Peaks) {
+			return fmt.Errorf("model: point %d has label %d, want [0,%d)", i, l, len(m.Peaks))
+		}
+	}
+	if m.Dc <= 0 {
+		return fmt.Errorf("model: non-positive d_c %v", m.Dc)
+	}
+	if m.LSH.M > 0 && (m.LSH.Pi <= 0 || m.LSH.W <= 0) {
+		return fmt.Errorf("model: LSH params M=%d pi=%d w=%v are inconsistent", m.LSH.M, m.LSH.Pi, m.LSH.W)
+	}
+	return nil
+}
+
+// Section names of the framed body.
+const (
+	secMeta   = "meta"
+	secPoints = "points"
+	secRho    = "rho"
+	secLabels = "labels"
+	secPeaks  = "peaks"
+	secBorder = "border"
+)
+
+// Encode serializes the model: header (magic, version, CRC32-C, body
+// length) followed by the framed sections.
+func (m *Model) Encode() ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	body := mapreduce.AppendFrame(nil, mapreduce.Pair{Key: secMeta, Value: m.encodeMeta()})
+	body = mapreduce.AppendFrame(body, mapreduce.Pair{Key: secPoints, Value: encodeFloats(m.Data)})
+	body = mapreduce.AppendFrame(body, mapreduce.Pair{Key: secRho, Value: encodeFloats(m.Rho)})
+	body = mapreduce.AppendFrame(body, mapreduce.Pair{Key: secLabels, Value: encodeInt32s(m.Labels)})
+	body = mapreduce.AppendFrame(body, mapreduce.Pair{Key: secPeaks, Value: encodeInt32s(m.Peaks)})
+	body = mapreduce.AppendFrame(body, mapreduce.Pair{Key: secBorder, Value: encodeFloats(m.Border)})
+
+	out := make([]byte, 0, headerLen+len(body))
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint32(out, Version)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, castagnoli))
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(body)))
+	return append(out, body...), nil
+}
+
+// Decode parses and verifies an encoded model: magic, format version, and
+// body checksum are checked before any section is interpreted.
+func Decode(data []byte) (*Model, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("model: artifact is %d bytes, shorter than the %d-byte header", len(data), headerLen)
+	}
+	if string(data[:8]) != magic {
+		return nil, fmt.Errorf("model: bad magic %q (not a cluster model artifact)", data[:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != Version {
+		return nil, fmt.Errorf("model: unsupported format version %d (this build reads version %d)", v, Version)
+	}
+	wantCRC := binary.LittleEndian.Uint32(data[12:])
+	bodyLen := binary.LittleEndian.Uint64(data[16:])
+	body := data[headerLen:]
+	if uint64(len(body)) != bodyLen {
+		return nil, fmt.Errorf("model: body is %d bytes, header says %d (truncated artifact)", len(body), bodyLen)
+	}
+	if got := crc32.Checksum(body, castagnoli); got != wantCRC {
+		return nil, fmt.Errorf("model: checksum mismatch (stored %08x, computed %08x): artifact is corrupt", wantCRC, got)
+	}
+	frames, err := mapreduce.DecodeFrames(nil, body)
+	if err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	m := &Model{}
+	for _, f := range frames {
+		switch f.Key {
+		case secMeta:
+			if err := m.decodeMeta(f.Value); err != nil {
+				return nil, err
+			}
+		case secPoints:
+			m.Data = decodeFloats(f.Value)
+		case secRho:
+			m.Rho = decodeFloats(f.Value)
+		case secLabels:
+			m.Labels = decodeInt32s(f.Value)
+		case secPeaks:
+			m.Peaks = decodeInt32s(f.Value)
+		case secBorder:
+			m.Border = decodeFloats(f.Value)
+		default:
+			// Unknown section: written by a newer minor revision, skip.
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// meta section: u32 dim | f64 dc | i64 seed | u32 m | u32 pi | f64 w | name.
+func (m *Model) encodeMeta() []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(m.Dim))
+	buf = points.AppendFloat64(buf, m.Dc)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.LSH.Seed))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.LSH.M))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.LSH.Pi))
+	buf = points.AppendFloat64(buf, m.LSH.W)
+	return append(buf, m.Name...)
+}
+
+func (m *Model) decodeMeta(v []byte) error {
+	if len(v) < 36 {
+		return fmt.Errorf("model: meta section is %d bytes, want at least 36", len(v))
+	}
+	m.Dim = int(binary.LittleEndian.Uint32(v))
+	m.Dc = points.DecodeFloat64(v[4:])
+	m.LSH.Seed = int64(binary.LittleEndian.Uint64(v[12:]))
+	m.LSH.M = int(binary.LittleEndian.Uint32(v[20:]))
+	m.LSH.Pi = int(binary.LittleEndian.Uint32(v[24:]))
+	m.LSH.W = points.DecodeFloat64(v[28:])
+	m.Name = string(v[36:])
+	return nil
+}
+
+func encodeFloats(xs []float64) []byte {
+	buf := make([]byte, 0, 8*len(xs))
+	for _, x := range xs {
+		buf = points.AppendFloat64(buf, x)
+	}
+	return buf
+}
+
+func decodeFloats(v []byte) []float64 {
+	xs := make([]float64, len(v)/8)
+	for i := range xs {
+		xs[i] = points.DecodeFloat64(v[8*i:])
+	}
+	return xs
+}
+
+func encodeInt32s(xs []int32) []byte {
+	buf := make([]byte, 0, 4*len(xs))
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+	}
+	return buf
+}
+
+func decodeInt32s(v []byte) []int32 {
+	xs := make([]int32, len(v)/4)
+	for i := range xs {
+		xs[i] = int32(binary.LittleEndian.Uint32(v[4*i:]))
+	}
+	return xs
+}
+
+// Write serializes the model to w.
+func (m *Model) Write(w io.Writer) error {
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// Read decodes a model from r (reading to EOF).
+func Read(r io.Reader) (*Model, error) {
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	return Decode(buf.Bytes())
+}
+
+// WriteFile atomically-ish writes the model to a local file (temp file in
+// the same directory, then rename).
+func (m *Model) WriteFile(path string) error {
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// ReadFile loads and verifies a model from a local file.
+func ReadFile(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}

@@ -1,0 +1,160 @@
+package model_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/dfsio"
+	"repro/internal/model"
+)
+
+// testModel builds a small, fully populated model.
+func testModel() *model.Model {
+	return &model.Model{
+		Name: "unit",
+		Dim:  2,
+		Dc:   0.75,
+		LSH:  model.Params{Seed: 42, M: 4, Pi: 3, W: 1.5},
+		Data: []float64{
+			0, 0, 1, 0, 0, 1,
+			10, 10, 11, 10, 10, 11,
+		},
+		Rho:    []float64{3, 2, 2, 3, 2, 2},
+		Labels: []int32{0, 0, 0, 1, 1, 1},
+		Peaks:  []int32{0, 3},
+		Border: []float64{1.5, 1.25},
+	}
+}
+
+func mustEqual(t *testing.T, got, want *model.Model) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	m := testModel()
+	path := filepath.Join(t.TempDir(), "m.ddpm")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := model.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, got, m)
+}
+
+func TestRoundTripDFS(t *testing.T) {
+	m := testModel()
+	fs := dfs.NewMemFS()
+	if err := dfsio.SaveModel(fs, "/models/m.ddpm", m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dfsio.LoadModel(fs, "/models/m.ddpm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, got, m)
+}
+
+// Layouts must regenerate identically from the stored parameters: same keys
+// for the same point before and after a round trip.
+func TestLayoutsRegenerate(t *testing.T) {
+	m := testModel()
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := model.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Layouts().Keys(m.Row(0))
+	if gotKeys := got.Layouts().Keys(got.Row(0)); !reflect.DeepEqual(gotKeys, want) {
+		t.Fatalf("regenerated layouts disagree: %v vs %v", gotKeys, want)
+	}
+}
+
+func TestNoLSHModel(t *testing.T) {
+	m := testModel()
+	m.LSH = model.Params{}
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := model.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Layouts() != nil {
+		t.Fatal("model without LSH params should have nil layouts")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	m := testModel()
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in every body byte position sampled across the artifact;
+	// each must surface as a checksum error, never as a silently wrong model.
+	for pos := 16 + 8; pos < len(data); pos += 97 {
+		corrupt := append([]byte(nil), data...)
+		corrupt[pos] ^= 0x40
+		_, err := model.Decode(corrupt)
+		if err == nil {
+			t.Fatalf("bit flip at %d went undetected", pos)
+		}
+		if !strings.Contains(err.Error(), "corrupt") {
+			t.Fatalf("bit flip at %d: got %v, want checksum error", pos, err)
+		}
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	m := testModel()
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := model.Decode(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: got %v", err)
+	}
+
+	bad = append([]byte(nil), data...)
+	bad[8] = 0xFF // format version
+	if _, err := model.Decode(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version: got %v", err)
+	}
+
+	if _, err := model.Decode(data[:len(data)-3]); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncation: got %v", err)
+	}
+}
+
+func TestValidateRejectsInconsistency(t *testing.T) {
+	cases := map[string]func(*model.Model){
+		"no points":    func(m *model.Model) { m.Labels = nil; m.Rho = nil; m.Data = nil },
+		"bad label":    func(m *model.Model) { m.Labels[2] = 99 },
+		"bad peak":     func(m *model.Model) { m.Peaks[0] = -1 },
+		"border count": func(m *model.Model) { m.Border = m.Border[:1] },
+		"bad dc":       func(m *model.Model) { m.Dc = 0 },
+		"coord count":  func(m *model.Model) { m.Data = m.Data[:5] },
+	}
+	for name, mutate := range cases {
+		m := testModel()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an inconsistent model", name)
+		}
+	}
+}

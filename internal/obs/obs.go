@@ -69,8 +69,15 @@ const PhaseFetch Phase = "fetch"
 // never emit it.
 const PhaseRereplicate Phase = "rereplicate"
 
+// PhaseServe is the online serving layer's per-request span: one span per
+// query handled by the clusterd assignment engine, whose Wall runs from
+// admission to reply, Records is the number of points in the request, and
+// Bytes the candidate rows scanned. Only emitted when the server is started
+// with tracing on; MapReduce engines never emit it.
+const PhaseServe Phase = "serve"
+
 // PhaseOrder lists the phases in dataflow order, for stable rendering.
-var PhaseOrder = []Phase{PhaseMap, PhaseCombine, PhaseSort, PhaseShuffle, PhaseFetch, PhaseReduce, PhaseRereplicate}
+var PhaseOrder = []Phase{PhaseMap, PhaseCombine, PhaseSort, PhaseShuffle, PhaseFetch, PhaseReduce, PhaseRereplicate, PhaseServe}
 
 // Span records one task-phase execution. Worker is the rpcmr worker id
 // that ran the task (0 on the local engine).

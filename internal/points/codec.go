@@ -11,6 +11,22 @@ import (
 // values are encoded once per emit and the shuffle-byte counters should
 // reflect honest data sizes, not gob's per-stream type dictionaries.
 
+// AppendFloat64 appends the 8-byte little-endian IEEE-754 form of v to buf.
+// It is the shared primitive every record codec in the repository builds
+// float fields from, so round-trips are bit-exact by construction.
+func AppendFloat64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+// EncodeFloat64 returns the 8-byte wire form of v.
+func EncodeFloat64(v float64) []byte { return AppendFloat64(nil, v) }
+
+// DecodeFloat64 reads the float64 at the front of buf (which must hold at
+// least 8 bytes).
+func DecodeFloat64(buf []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf))
+}
+
 // AppendPoint appends the wire form of p (id, dim, coordinates) to buf.
 func AppendPoint(buf []byte, p Point) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.ID))

@@ -1,0 +1,34 @@
+package points
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The float64 primitives are shared by every fixed-width record codec in
+// the tree (core, eddpc, kmeansmr, experiments, model); they must preserve
+// bit patterns exactly, NaN and infinities included.
+func TestFloat64CodecRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		return math.Float64bits(DecodeFloat64(EncodeFloat64(v))) == math.Float64bits(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0, math.Copysign(0, -1), math.NaN(), math.Inf(1), math.Inf(-1), math.MaxFloat64} {
+		if math.Float64bits(DecodeFloat64(EncodeFloat64(v))) != math.Float64bits(v) {
+			t.Fatalf("%v did not round-trip", v)
+		}
+	}
+}
+
+func TestAppendFloat64(t *testing.T) {
+	buf := AppendFloat64([]byte{0xAA}, 1.5)
+	if len(buf) != 9 || buf[0] != 0xAA {
+		t.Fatalf("AppendFloat64 produced % x", buf)
+	}
+	if got := DecodeFloat64(buf[1:]); got != 1.5 {
+		t.Fatalf("decoded %v, want 1.5", got)
+	}
+}

@@ -1,0 +1,154 @@
+// Package serve is the online cluster-serving subsystem: it answers "which
+// cluster does this point belong to?" against a frozen model artifact
+// (internal/model) without rerunning any MapReduce job.
+//
+// The engine reuses the training run's LSH machinery as an approximate
+// nearest-neighbor index: it regenerates the M hash layouts from the
+// model's parameters, buckets every stored point under each layout, and
+// answers a query by probing the query's M bucket keys and scanning only
+// the candidate union with the dense NN kernels — the same
+// locality-preserving partitions that made ρ̂/δ̂ accurate make the nearest
+// labeled point overwhelmingly likely to share a bucket with the query.
+// When every probe comes up empty (a query far from all training data) the
+// engine falls back to an exact full scan, so an answer is always returned
+// and is always the label of some stored point.
+//
+// The HTTP server in server.go fronts the engine with micro-batching of
+// concurrent requests, a bounded admission queue with load shedding,
+// latency histograms, health/stats endpoints, hot model reload, and
+// graceful drain — see DESIGN.md "Online serving".
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/kernels"
+	"repro/internal/lsh"
+	"repro/internal/model"
+	"repro/internal/points"
+)
+
+// Assignment is the answer for one query point.
+type Assignment struct {
+	// Cluster is the assigned cluster (index into the model's peaks).
+	Cluster int32 `json:"cluster"`
+	// Halo reports whether the query lands in the cluster's halo (its
+	// nearest stored point sits below the cluster's border density).
+	Halo bool `json:"halo"`
+	// Nearest is the stored point ID whose label the query inherited.
+	Nearest int32 `json:"nearest"`
+	// Dist is the Euclidean distance to that nearest stored point.
+	Dist float64 `json:"dist"`
+	// PeakDist is the Euclidean distance to the assigned cluster's peak.
+	PeakDist float64 `json:"peak_dist"`
+	// Exact reports that the exact-scan fallback answered (no LSH bucket
+	// held a candidate, or the engine runs without an index).
+	Exact bool `json:"exact"`
+}
+
+// Engine answers queries against one immutable model. It is safe for
+// concurrent use; the server swaps the whole engine on hot reload.
+type Engine struct {
+	m       *model.Model
+	layouts *lsh.Layouts
+	// buckets maps a layout-prefixed LSH key ("m|k1.k2...") to the rows
+	// stored under it, in ascending row order.
+	buckets map[string][]int32
+	// scratch pools per-query candidate state sized to this model.
+	scratch sync.Pool
+}
+
+// scratch is the reusable per-query candidate-dedup state.
+type scratch struct {
+	stamp []int32 // per-row epoch marks
+	epoch int32
+	cand  []int32
+}
+
+// NewEngine indexes a model for serving. With LSH parameters present the
+// index holds M buckets per stored point; a model exported without LSH
+// (M == 0) serves through exact scans only.
+func NewEngine(m *model.Model) (*Engine, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{m: m, layouts: m.Layouts()}
+	n := m.N()
+	e.scratch.New = func() any { return &scratch{stamp: make([]int32, n)} }
+	if e.layouts == nil {
+		return e, nil
+	}
+	e.buckets = make(map[string][]int32, n)
+	for i := 0; i < n; i++ {
+		for _, key := range e.layouts.Keys(m.Row(i)) {
+			e.buckets[key] = append(e.buckets[key], int32(i))
+		}
+	}
+	return e, nil
+}
+
+// Model returns the engine's model.
+func (e *Engine) Model() *model.Model { return e.m }
+
+// Buckets returns the number of distinct LSH buckets in the index.
+func (e *Engine) Buckets() int { return len(e.buckets) }
+
+// Pruned reports whether the engine carries an LSH index.
+func (e *Engine) Pruned() bool { return e.layouts != nil }
+
+// Assign answers one query. exactOnly forces the full-scan path (the
+// pruned-vs-exact benchmark switch). scanned is the number of stored rows
+// whose distance to the query was evaluated.
+func (e *Engine) Assign(q points.Vector, exactOnly bool) (Assignment, int) {
+	if len(q) != e.m.Dim {
+		// Callers validate dimensionality at the API boundary; this is a
+		// programming error, not a data error.
+		panic(fmt.Sprintf("serve: query dim %d, model dim %d", len(q), e.m.Dim))
+	}
+	var best int
+	var best2 float64
+	exact := exactOnly || e.layouts == nil
+	scanned := 0
+	if !exact {
+		s := e.scratch.Get().(*scratch)
+		s.epoch++
+		if s.epoch <= 0 { // epoch wrapped: invalidate all stamps
+			for i := range s.stamp {
+				s.stamp[i] = 0
+			}
+			s.epoch = 1
+		}
+		s.cand = s.cand[:0]
+		for _, key := range e.layouts.Keys(q) {
+			for _, r := range e.buckets[key] {
+				if s.stamp[r] != s.epoch {
+					s.stamp[r] = s.epoch
+					s.cand = append(s.cand, r)
+				}
+			}
+		}
+		if len(s.cand) == 0 {
+			exact = true
+		} else {
+			best, best2 = kernels.NNRows(e.m.Data, e.m.Dim, q, s.cand)
+			scanned = len(s.cand)
+		}
+		e.scratch.Put(s)
+	}
+	if exact {
+		best, best2 = kernels.NNRange(e.m.Data, e.m.Dim, q, 0, e.m.N())
+		scanned = e.m.N()
+	}
+	cluster := e.m.Labels[best]
+	peak := e.m.Peaks[cluster]
+	return Assignment{
+		Cluster:  cluster,
+		Halo:     e.m.Rho[best] < e.m.Border[cluster],
+		Nearest:  int32(best),
+		Dist:     math.Sqrt(best2),
+		PeakDist: points.Dist(q, e.m.Row(int(peak))),
+		Exact:    exact,
+	}, scanned
+}

@@ -1,0 +1,400 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// trainModel runs the full offline pipeline on a seeded blob dataset and
+// exports the artifact plus the offline labels/halo flags to check against.
+func trainModel(t *testing.T, n, k int) (*model.Model, []int32, []bool) {
+	t.Helper()
+	ds := dataset.Blobs("serve-test", n, 2, k, 100, 2.5, 7)
+	res, err := core.RunLSHDDP(ds, core.LSHConfig{Config: core.Config{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks, labels, err := res.Cluster(ds, core.SelectTopK(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := core.RunLSHHalo(ds, res.Rho, labels, res.Stats.Dc, core.LSHConfig{Config: core.Config{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdl, err := core.ExportModel(ds, res, peaks, labels, hr.Border, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mdl, labels, hr.Halo
+}
+
+func postAssign(t *testing.T, addr string, pts [][]float64) (*http.Response, []serve.Assignment) {
+	t.Helper()
+	body, err := json.Marshal(map[string][][]float64{"points": pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/assign", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return resp, nil
+	}
+	var out struct {
+		Results []serve.Assignment `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Results
+}
+
+// TestServingConformance replays every training point through the HTTP path
+// with concurrent clients and requires the served cluster and halo flag to
+// match the offline labeling exactly: a training point's nearest stored
+// point is itself at distance zero, so this holds by construction — any
+// mismatch is a serving bug.
+func TestServingConformance(t *testing.T) {
+	mdl, labels, halo := trainModel(t, 1500, 4)
+	srv := serve.New(serve.Config{})
+	if err := srv.SetModel(mdl); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background()) //nolint:errcheck
+
+	const clients = 8
+	const chunk = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for lo := c * chunk; lo < mdl.N(); lo += clients * chunk {
+				hi := lo + chunk
+				if hi > mdl.N() {
+					hi = mdl.N()
+				}
+				pts := make([][]float64, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					pts = append(pts, mdl.Row(i))
+				}
+				resp, got := postAssign(t, srv.Addr(), pts)
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("rows [%d,%d): HTTP %d", lo, hi, resp.StatusCode)
+					return
+				}
+				for j, a := range got {
+					i := lo + j
+					if a.Cluster != labels[i] {
+						errs <- fmt.Errorf("point %d: served cluster %d, offline label %d", i, a.Cluster, labels[i])
+						return
+					}
+					if a.Halo != halo[i] {
+						errs <- fmt.Errorf("point %d: served halo %v, offline halo %v", i, a.Halo, halo[i])
+						return
+					}
+					if a.Dist != 0 {
+						errs <- fmt.Errorf("point %d: nonzero self-distance %v", i, a.Dist)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := srv.Counters().Get(serve.CtrShed); got != 0 {
+		t.Errorf("conformance load shed %d requests with default queue", got)
+	}
+}
+
+// TestEnginePrunedVsExact checks the two serving paths against each other on
+// jittered queries: pruning must scan fewer rows and may never return a
+// closer-looking answer than the exact scan (it scans a subset).
+func TestEnginePrunedVsExact(t *testing.T) {
+	mdl, _, _ := trainModel(t, 1500, 4)
+	eng, err := serve.NewEngine(mdl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Pruned() {
+		t.Fatal("LSH model produced an unpruned engine")
+	}
+	var prunedRows, exactRows, agree, total int
+	for i := 0; i < mdl.N(); i += 3 {
+		q := append([]float64(nil), mdl.Row(i)...)
+		q[0] += mdl.Dc / 3 // nudge off the stored point
+		ap, sp := eng.Assign(q, false)
+		ae, se := eng.Assign(q, true)
+		if ap.Dist < ae.Dist {
+			t.Fatalf("query %d: pruned dist %v beats exact dist %v", i, ap.Dist, ae.Dist)
+		}
+		prunedRows += sp
+		exactRows += se
+		total++
+		// The Exact flag necessarily differs between the two paths.
+		if ap.Cluster == ae.Cluster && ap.Halo == ae.Halo && ap.Nearest == ae.Nearest && ap.Dist == ae.Dist {
+			agree++
+		}
+	}
+	if prunedRows*2 >= exactRows {
+		t.Fatalf("pruning scanned %d rows vs %d exact — no real pruning", prunedRows, exactRows)
+	}
+	if agree*100 < total*95 {
+		t.Fatalf("pruned path agreed with exact on only %d/%d queries", agree, total)
+	}
+	t.Logf("pruned scanned %d rows vs %d exact (%.1f%%), %d/%d agree",
+		prunedRows, exactRows, 100*float64(prunedRows)/float64(exactRows), agree, total)
+}
+
+// smallModel is a hand-built model for the control-plane tests.
+func smallModel(name string) *model.Model {
+	return &model.Model{
+		Name:   name,
+		Dim:    2,
+		Dc:     1,
+		Data:   []float64{0, 0, 10, 10},
+		Rho:    []float64{1, 1},
+		Labels: []int32{0, 1},
+		Peaks:  []int32{0, 1},
+		Border: []float64{0, 0},
+	}
+}
+
+// TestLoadShedding saturates a depth-1 queue while the batcher is held in
+// the process hook: the third request must be rejected with 429 and counted
+// in serve.shed, and held requests must complete once the batcher resumes.
+func TestLoadShedding(t *testing.T) {
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	srv := serve.New(serve.Config{
+		QueueDepth: 1,
+		BatchMax:   1,
+		ProcessHook: func() {
+			entered <- struct{}{}
+			<-release
+		},
+	})
+	if err := srv.SetModel(smallModel("shed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background()) //nolint:errcheck
+
+	codes := make(chan int, 2)
+	post := func() {
+		resp, _ := postAssign(t, srv.Addr(), [][]float64{{1, 1}})
+		codes <- resp.StatusCode
+	}
+	go post()
+	<-entered // batcher holds request 1; queue is empty again
+	go post()
+	// Wait for request 2 to occupy the queue slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Queue.Depth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request 2 never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, _ := postAssign(t, srv.Addr(), [][]float64{{2, 2}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload request: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if got := srv.Counters().Get(serve.CtrShed); got != 1 {
+		t.Errorf("serve.shed = %d, want 1", got)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Errorf("held request got HTTP %d after release", code)
+		}
+	}
+}
+
+// TestGracefulDrain shuts down while a request is in flight: Shutdown must
+// wait for it, the request must succeed, and later requests must be refused.
+func TestGracefulDrain(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var once sync.Once
+	srv := serve.New(serve.Config{
+		ProcessHook: func() {
+			once.Do(func() {
+				entered <- struct{}{}
+				<-release
+			})
+		},
+	})
+	if err := srv.SetModel(smallModel("drain")); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	code := make(chan int, 1)
+	go func() {
+		resp, _ := postAssign(t, addr, [][]float64{{1, 1}})
+		code <- resp.StatusCode
+	}()
+	<-entered
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+
+	select {
+	case <-done:
+		t.Fatal("Shutdown returned while a request was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := <-code; got != http.StatusOK {
+		t.Fatalf("in-flight request got HTTP %d across drain", got)
+	}
+	if _, err := http.Post("http://"+addr+"/assign", "application/json",
+		bytes.NewReader([]byte(`{"points":[[1,1]]}`))); err == nil {
+		t.Error("post-drain request was accepted")
+	}
+}
+
+// TestHotReload swaps models through the Loader path and verifies a failed
+// reload keeps the old model serving.
+func TestHotReload(t *testing.T) {
+	models := []*model.Model{smallModel("v1"), smallModel("v2")}
+	var loads int
+	var fail bool
+	srv := serve.New(serve.Config{
+		Loader: func() (*model.Model, error) {
+			if fail {
+				return nil, fmt.Errorf("artifact store down")
+			}
+			m := models[loads%len(models)]
+			loads++
+			return m, nil
+		},
+	})
+	if err := srv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Engine().Model().Name; got != "v1" {
+		t.Fatalf("loaded %q, want v1", got)
+	}
+	if err := srv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Engine().Model().Name; got != "v2" {
+		t.Fatalf("reloaded to %q, want v2", got)
+	}
+	fail = true
+	if err := srv.Reload(); err == nil {
+		t.Fatal("failed load reported success")
+	}
+	if got := srv.Engine().Model().Name; got != "v2" {
+		t.Fatalf("failed reload replaced the model with %q", got)
+	}
+	if got := srv.Counters().Get(serve.CtrReloads); got != 2 {
+		t.Fatalf("serve.reloads = %d, want 2", got)
+	}
+}
+
+// TestRequestValidation exercises the /assign error paths.
+func TestRequestValidation(t *testing.T) {
+	srv := serve.New(serve.Config{MaxRequestPoints: 2})
+	if err := srv.SetModel(smallModel("val")); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background()) //nolint:errcheck
+
+	for _, tc := range []struct {
+		name string
+		body string
+		want int
+	}{
+		{"garbage", "{", http.StatusBadRequest},
+		{"empty", `{"points":[]}`, http.StatusBadRequest},
+		{"wrong dim", `{"points":[[1,2,3]]}`, http.StatusBadRequest},
+		{"too many", `{"points":[[1,1],[2,2],[3,3]]}`, http.StatusBadRequest},
+		{"ok", `{"points":[[1,1]]}`, http.StatusOK},
+	} {
+		resp, err := http.Post("http://"+srv.Addr()+"/assign", "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: HTTP %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestHealthz covers the probe's three states.
+func TestHealthz(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	get := func() int {
+		resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get(); got != http.StatusServiceUnavailable {
+		t.Errorf("modelless healthz: HTTP %d, want 503", got)
+	}
+	if err := srv.SetModel(smallModel("health")); err != nil {
+		t.Fatal(err)
+	}
+	if got := get(); got != http.StatusOK {
+		t.Errorf("healthy healthz: HTTP %d, want 200", got)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

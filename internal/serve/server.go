@@ -1,0 +1,519 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mapreduce"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/points"
+)
+
+// Counter names of the serving layer, reported by /statsz (and clusterd's
+// shutdown dump) next to the familiar mr.* / dfs.* families.
+const (
+	// CtrRequests counts admitted /assign requests.
+	CtrRequests = "serve.requests"
+	// CtrPoints counts query points across admitted requests.
+	CtrPoints = "serve.points"
+	// CtrShed counts requests rejected with 429 because the admission
+	// queue was full — the load-shedding signal.
+	CtrShed = "serve.shed"
+	// CtrBatches counts kernel batches (one per batcher flush).
+	CtrBatches = "serve.batches"
+	// CtrExactScans counts queries answered by the exact full-scan path.
+	CtrExactScans = "serve.exact.scans"
+	// CtrCandidates counts stored rows scanned across all queries; divide
+	// by CtrPoints for the average pruned candidate-set size.
+	CtrCandidates = "serve.candidates"
+	// CtrReloads counts successful hot model reloads.
+	CtrReloads = "serve.reloads"
+)
+
+// Config carries the serving knobs (see README "Configuration reference",
+// serve.* rows).
+type Config struct {
+	// BatchMax flushes a batch once it holds this many query points
+	// (default 64). Concurrent requests arriving while a batch runs
+	// coalesce into the next one.
+	BatchMax int
+	// BatchLinger, when positive, lets the batcher wait this long for more
+	// requests after the first before flushing. The default 0 flushes as
+	// soon as the queue is momentarily empty: batches grow under load and
+	// stay at one request when idle, with no added idle latency.
+	BatchLinger time.Duration
+	// QueueDepth bounds the admission queue (default 128). A request
+	// arriving at a full queue is shed with 429, never blocked.
+	QueueDepth int
+	// Workers processes the requests of one batch concurrently when > 1
+	// (default 1).
+	Workers int
+	// MaxRequestPoints bounds the points of one request (default 1024).
+	MaxRequestPoints int
+	// ExactOnly disables LSH pruning and answers every query by full scan
+	// (the benchmark baseline).
+	ExactOnly bool
+	// Loader, when set, supplies a fresh model for Reload (SIGHUP or
+	// POST /reload).
+	Loader func() (*model.Model, error)
+	// Trace, when non-nil, receives one obs span per request (Phase
+	// "serve"), grouped into a JobTrace per batch. Meant for debugging
+	// sessions, not sustained traffic: the trace grows without bound.
+	Trace *obs.Trace
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+	// ProcessHook is a test hook invoked before each batch is processed.
+	ProcessHook func()
+}
+
+func (c *Config) batchMax() int {
+	if c.BatchMax > 0 {
+		return c.BatchMax
+	}
+	return 64
+}
+
+func (c *Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 128
+}
+
+func (c *Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return 1
+}
+
+func (c *Config) maxRequestPoints() int {
+	if c.MaxRequestPoints > 0 {
+		return c.MaxRequestPoints
+	}
+	return 1024
+}
+
+// request is one admitted /assign call waiting for its batch to run.
+type request struct {
+	qs      []points.Vector
+	out     []Assignment
+	err     error
+	scanned int64
+	start   time.Time
+	done    chan struct{}
+}
+
+// Server fronts an Engine with HTTP/JSON, micro-batching, and admission
+// control. Create with New, load a model with SetModel (or Reload), then
+// Start; Shutdown drains cleanly.
+type Server struct {
+	cfg      Config
+	engine   atomic.Pointer[Engine]
+	queue    chan *request
+	quit     chan struct{}
+	draining atomic.Bool
+	counters *mapreduce.Counters
+	hist     hist
+	batchID  atomic.Int64
+
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+	ln       net.Listener
+	batchWG  sync.WaitGroup
+	shutOnce sync.Once
+	shutErr  error
+}
+
+// New builds a server from cfg. No model is loaded and no socket is open
+// yet.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg,
+		queue:    make(chan *request, cfg.queueDepth()),
+		quit:     make(chan struct{}),
+		counters: mapreduce.NewCounters(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /assign", s.handleAssign)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("POST /reload", s.handleReload)
+	return s
+}
+
+// SetModel indexes m and swaps it in atomically; in-flight batches finish
+// against the engine they loaded.
+func (s *Server) SetModel(m *model.Model) error {
+	eng, err := NewEngine(m)
+	if err != nil {
+		return err
+	}
+	s.engine.Store(eng)
+	s.logf("serve: model %q loaded: %d points dim %d, %d clusters, %d LSH buckets (M=%d pi=%d w=%.4g)",
+		m.Name, m.N(), m.Dim, m.NumClusters(), eng.Buckets(), m.LSH.M, m.LSH.Pi, m.LSH.W)
+	return nil
+}
+
+// Reload fetches a fresh model through cfg.Loader and swaps it in — the
+// SIGHUP / POST /reload path. The old model keeps serving until the new
+// one has loaded and indexed successfully; a failed reload changes nothing.
+func (s *Server) Reload() error {
+	if s.cfg.Loader == nil {
+		return fmt.Errorf("serve: no model loader configured")
+	}
+	m, err := s.cfg.Loader()
+	if err != nil {
+		return fmt.Errorf("serve: reload: %w", err)
+	}
+	if err := s.SetModel(m); err != nil {
+		return fmt.Errorf("serve: reload: %w", err)
+	}
+	s.counters.Add(CtrReloads, 1)
+	return nil
+}
+
+// Engine returns the currently serving engine (nil before the first
+// successful SetModel/Reload).
+func (s *Server) Engine() *Engine { return s.engine.Load() }
+
+// Counters exposes the serve.* counter set.
+func (s *Server) Counters() *mapreduce.Counters { return s.counters }
+
+// Handler returns the HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr and serves until Shutdown. The batcher and the
+// HTTP loop run in background goroutines.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.mux}
+	s.batchWG.Add(1)
+	go s.batcher()
+	go s.httpSrv.Serve(ln) //nolint:errcheck // ErrServerClosed after Shutdown
+	s.logf("serve: listening on %s (batch<=%d linger=%s queue=%d workers=%d)",
+		ln.Addr(), s.cfg.batchMax(), s.cfg.BatchLinger, s.cfg.queueDepth(), s.cfg.workers())
+	return nil
+}
+
+// Addr returns the bound address after Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains gracefully: new requests are refused (503), in-flight
+// requests finish through the batcher, then the batcher exits. Safe to
+// call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() {
+		s.draining.Store(true)
+		if s.httpSrv != nil {
+			// Waits for active handlers, each of which is blocked on its
+			// request's done channel — i.e. for the queue to drain.
+			s.shutErr = s.httpSrv.Shutdown(ctx)
+		}
+		close(s.quit)
+		s.batchWG.Wait()
+		s.logf("serve: drained: %d requests served, %d shed", s.counters.Get(CtrRequests), s.counters.Get(CtrShed))
+	})
+	return s.shutErr
+}
+
+// batcher is the single goroutine that turns the admission queue into
+// kernel batches: it blocks for the first request, then greedily coalesces
+// whatever else is already queued (up to BatchMax points, optionally
+// lingering BatchLinger for more) into one processing pass.
+func (s *Server) batcher() {
+	defer s.batchWG.Done()
+	var batch []*request
+	for {
+		select {
+		case req := <-s.queue:
+			batch = append(batch[:0], req)
+			n := len(req.qs)
+			var lingerC <-chan time.Time
+			var lingerT *time.Timer
+			if s.cfg.BatchLinger > 0 {
+				lingerT = time.NewTimer(s.cfg.BatchLinger)
+				lingerC = lingerT.C
+			}
+		collect:
+			for n < s.cfg.batchMax() {
+				if lingerC == nil {
+					select {
+					case r := <-s.queue:
+						batch = append(batch, r)
+						n += len(r.qs)
+					default:
+						break collect
+					}
+				} else {
+					select {
+					case r := <-s.queue:
+						batch = append(batch, r)
+						n += len(r.qs)
+					case <-lingerC:
+						break collect
+					case <-s.quit:
+						break collect
+					}
+				}
+			}
+			if lingerT != nil {
+				lingerT.Stop()
+			}
+			s.process(batch)
+		case <-s.quit:
+			// Drain: after Shutdown no handler can enqueue, so the
+			// residue in the buffer is all that is left.
+			for {
+				select {
+				case r := <-s.queue:
+					s.process([]*request{r})
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// process runs one batch through the engine and wakes every caller.
+func (s *Server) process(batch []*request) {
+	if s.cfg.ProcessHook != nil {
+		s.cfg.ProcessHook()
+	}
+	eng := s.engine.Load()
+	batchStart := time.Now()
+	id := int(s.batchID.Add(1))
+
+	run := func(r *request) {
+		if eng == nil {
+			r.err = fmt.Errorf("serve: no model loaded")
+			return
+		}
+		r.out = make([]Assignment, len(r.qs))
+		var scanned, exact int64
+		for i, q := range r.qs {
+			if len(q) != eng.m.Dim {
+				// The admission-time check ran against a different engine
+				// (hot reload changed the dimensionality mid-flight).
+				r.err = fmt.Errorf("serve: query dim %d, model dim %d", len(q), eng.m.Dim)
+				return
+			}
+			a, sc := eng.Assign(q, s.cfg.ExactOnly)
+			r.out[i] = a
+			scanned += int64(sc)
+			if a.Exact {
+				exact++
+			}
+		}
+		r.scanned = scanned
+		s.counters.Add(CtrCandidates, scanned)
+		s.counters.Add(CtrExactScans, exact)
+	}
+
+	if w := s.cfg.workers(); w > 1 && len(batch) > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, w)
+		for _, r := range batch {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(r *request) {
+				defer wg.Done()
+				run(r)
+				<-sem
+			}(r)
+		}
+		wg.Wait()
+	} else {
+		for _, r := range batch {
+			run(r)
+		}
+	}
+
+	var spans []obs.Span
+	var pts int64
+	for i, r := range batch {
+		pts += int64(len(r.qs))
+		s.hist.Record(time.Since(r.start))
+		if s.cfg.Trace != nil {
+			spans = append(spans, obs.Span{
+				Job: "serve", JobID: id, Phase: obs.PhaseServe, Task: i,
+				Start: r.start, Wall: time.Since(r.start),
+				Records: int64(len(r.qs)), Bytes: r.scanned,
+			})
+		}
+		close(r.done)
+	}
+	s.counters.Add(CtrRequests, int64(len(batch)))
+	s.counters.Add(CtrPoints, pts)
+	s.counters.Add(CtrBatches, 1)
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Add(obs.JobTrace{Job: "serve", ID: id, Wall: time.Since(batchStart), Spans: spans})
+	}
+}
+
+// assignRequest is the /assign JSON body.
+type assignRequest struct {
+	Points [][]float64 `json:"points"`
+}
+
+// assignResponse is the /assign JSON reply.
+type assignResponse struct {
+	Results []Assignment `json:"results"`
+}
+
+func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	eng := s.engine.Load()
+	if eng == nil {
+		http.Error(w, "no model loaded", http.StatusServiceUnavailable)
+		return
+	}
+	var body assignRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&body); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(body.Points) == 0 {
+		http.Error(w, "no points", http.StatusBadRequest)
+		return
+	}
+	if len(body.Points) > s.cfg.maxRequestPoints() {
+		http.Error(w, fmt.Sprintf("too many points: %d > %d", len(body.Points), s.cfg.maxRequestPoints()), http.StatusBadRequest)
+		return
+	}
+	qs := make([]points.Vector, len(body.Points))
+	for i, p := range body.Points {
+		if len(p) != eng.m.Dim {
+			http.Error(w, fmt.Sprintf("point %d has dim %d, model has dim %d", i, len(p), eng.m.Dim), http.StatusBadRequest)
+			return
+		}
+		qs[i] = p
+	}
+	req := &request{qs: qs, start: time.Now(), done: make(chan struct{})}
+	select {
+	case s.queue <- req:
+	default:
+		s.counters.Add(CtrShed, 1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded: admission queue full", http.StatusTooManyRequests)
+		return
+	}
+	<-req.done
+	if req.err != nil {
+		http.Error(w, req.err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(assignResponse{Results: req.out}) //nolint:errcheck
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case s.engine.Load() == nil:
+		http.Error(w, "no model loaded", http.StatusServiceUnavailable)
+	default:
+		fmt.Fprintln(w, "ok")
+	}
+}
+
+// Statsz is the /statsz JSON document.
+type Statsz struct {
+	Model    *ModelInfo       `json:"model,omitempty"`
+	Counters map[string]int64 `json:"counters"`
+	Latency  LatencyInfo      `json:"latency"`
+	Queue    QueueInfo        `json:"queue"`
+	Draining bool             `json:"draining"`
+}
+
+// ModelInfo summarizes the loaded model for /statsz.
+type ModelInfo struct {
+	Name     string  `json:"name"`
+	N        int     `json:"n"`
+	Dim      int     `json:"dim"`
+	Clusters int     `json:"clusters"`
+	Buckets  int     `json:"lsh_buckets"`
+	M        int     `json:"lsh_m"`
+	Pi       int     `json:"lsh_pi"`
+	W        float64 `json:"lsh_w"`
+}
+
+// LatencyInfo carries the request-latency histogram quantiles (µs).
+type LatencyInfo struct {
+	Count int64 `json:"count"`
+	P50us int64 `json:"p50_us"`
+	P90us int64 `json:"p90_us"`
+	P99us int64 `json:"p99_us"`
+}
+
+// QueueInfo reports admission-queue occupancy.
+type QueueInfo struct {
+	Depth int `json:"depth"`
+	Cap   int `json:"cap"`
+}
+
+// Stats snapshots the server's observable state (what /statsz serves).
+func (s *Server) Stats() Statsz {
+	st := Statsz{
+		Counters: s.counters.Snapshot(),
+		Latency: LatencyInfo{
+			Count: s.hist.Count(),
+			P50us: s.hist.Quantile(0.50).Microseconds(),
+			P90us: s.hist.Quantile(0.90).Microseconds(),
+			P99us: s.hist.Quantile(0.99).Microseconds(),
+		},
+		Queue:    QueueInfo{Depth: len(s.queue), Cap: cap(s.queue)},
+		Draining: s.draining.Load(),
+	}
+	if eng := s.engine.Load(); eng != nil {
+		m := eng.Model()
+		st.Model = &ModelInfo{
+			Name: m.Name, N: m.N(), Dim: m.Dim, Clusters: m.NumClusters(),
+			Buckets: eng.Buckets(), M: m.LSH.M, Pi: m.LSH.Pi, W: m.LSH.W,
+		}
+	}
+	return st
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats()) //nolint:errcheck
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
+	if err := s.Reload(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	fmt.Fprintln(w, "reloaded")
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log(format, args...)
+	}
+}
