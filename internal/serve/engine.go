@@ -98,16 +98,26 @@ func (e *Engine) Buckets() int { return len(e.buckets) }
 // Pruned reports whether the engine carries an LSH index.
 func (e *Engine) Pruned() bool { return e.layouts != nil }
 
+// MaxCoord returns the largest coordinate magnitude a dim-dimensional
+// query may carry: with every coordinate of the query and the stored
+// points bounded by it, no squared distance can overflow to +Inf. The
+// server rejects larger (or non-finite) coordinates at admission.
+func MaxCoord(dim int) float64 {
+	return math.Sqrt(math.MaxFloat64/float64(dim)) / 2
+}
+
 // Assign answers one query. exactOnly forces the full-scan path (the
 // pruned-vs-exact benchmark switch). scanned is the number of stored rows
-// whose distance to the query was evaluated.
-func (e *Engine) Assign(q points.Vector, exactOnly bool) (Assignment, int) {
+// whose distance to the query was evaluated. An error means no stored
+// point had a finite distance to the query (overflowing or non-finite
+// coordinates); no assignment exists in that case.
+func (e *Engine) Assign(q points.Vector, exactOnly bool) (Assignment, int, error) {
 	if len(q) != e.m.Dim {
 		// Callers validate dimensionality at the API boundary; this is a
 		// programming error, not a data error.
 		panic(fmt.Sprintf("serve: query dim %d, model dim %d", len(q), e.m.Dim))
 	}
-	var best int
+	best := -1
 	var best2 float64
 	exact := exactOnly || e.layouts == nil
 	scanned := 0
@@ -134,12 +144,23 @@ func (e *Engine) Assign(q points.Vector, exactOnly bool) (Assignment, int) {
 		} else {
 			best, best2 = kernels.NNRows(e.m.Data, e.m.Dim, q, s.cand)
 			scanned = len(s.cand)
+			if best < 0 {
+				// Every candidate distance overflowed to +Inf; the full
+				// scan may still find a finite one.
+				exact = true
+			}
 		}
 		e.scratch.Put(s)
 	}
 	if exact {
 		best, best2 = kernels.NNRange(e.m.Data, e.m.Dim, q, 0, e.m.N())
 		scanned = e.m.N()
+	}
+	if best < 0 {
+		// All squared distances overflowed to +Inf (the NN kernels start
+		// at +Inf with a strict < comparison), so no nearest point exists.
+		// Return an error rather than indexing Labels[-1].
+		return Assignment{}, scanned, fmt.Errorf("serve: no finite distance from query to any stored point (coordinates non-finite or too large)")
 	}
 	cluster := e.m.Labels[best]
 	peak := e.m.Peaks[cluster]
@@ -150,5 +171,5 @@ func (e *Engine) Assign(q points.Vector, exactOnly bool) (Assignment, int) {
 		Dist:     math.Sqrt(best2),
 		PeakDist: points.Dist(q, e.m.Row(int(peak))),
 		Exact:    exact,
-	}, scanned
+	}, scanned, nil
 }

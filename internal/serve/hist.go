@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
 )
@@ -50,7 +51,8 @@ func (h *hist) Quantile(q float64) time.Duration {
 	if total == 0 {
 		return 0
 	}
-	rank := int64(q * float64(total))
+	// Nearest-rank convention: the q-quantile is observation ceil(q*n).
+	rank := int64(math.Ceil(q * float64(total)))
 	if rank < 1 {
 		rank = 1
 	}

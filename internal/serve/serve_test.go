@@ -147,8 +147,14 @@ func TestEnginePrunedVsExact(t *testing.T) {
 	for i := 0; i < mdl.N(); i += 3 {
 		q := append([]float64(nil), mdl.Row(i)...)
 		q[0] += mdl.Dc / 3 // nudge off the stored point
-		ap, sp := eng.Assign(q, false)
-		ae, se := eng.Assign(q, true)
+		ap, sp, err := eng.Assign(q, false)
+		if err != nil {
+			t.Fatalf("query %d: pruned assign: %v", i, err)
+		}
+		ae, se, err := eng.Assign(q, true)
+		if err != nil {
+			t.Fatalf("query %d: exact assign: %v", i, err)
+		}
 		if ap.Dist < ae.Dist {
 			t.Fatalf("query %d: pruned dist %v beats exact dist %v", i, ap.Dist, ae.Dist)
 		}
@@ -181,6 +187,37 @@ func smallModel(name string) *model.Model {
 		Labels: []int32{0, 1},
 		Peaks:  []int32{0, 1},
 		Border: []float64{0, 0},
+	}
+}
+
+// TestOverflowQuery: a query so far out that every squared distance
+// overflows to +Inf must produce an error (HTTP 400 at admission, an
+// engine error if it slips past) — never a panic that kills the daemon.
+func TestOverflowQuery(t *testing.T) {
+	eng, err := serve.NewEngine(smallModel("overflow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Assign([]float64{1e200, 1e200}, false); err == nil {
+		t.Error("engine: overflowing query returned no error")
+	}
+
+	srv := serve.New(serve.Config{})
+	if err := srv.SetModel(smallModel("overflow-http")); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background()) //nolint:errcheck
+	resp, _ := postAssign(t, srv.Addr(), [][]float64{{1e200, 1e200}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("overflowing query: HTTP %d, want 400", resp.StatusCode)
+	}
+	// The daemon must still be serving after the bad query.
+	resp, _ = postAssign(t, srv.Addr(), [][]float64{{1, 1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("query after overflow rejection: HTTP %d, want 200", resp.StatusCode)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"sync"
@@ -315,7 +316,11 @@ func (s *Server) process(batch []*request) {
 				r.err = fmt.Errorf("serve: query dim %d, model dim %d", len(q), eng.m.Dim)
 				return
 			}
-			a, sc := eng.Assign(q, s.cfg.ExactOnly)
+			a, sc, err := eng.Assign(q, s.cfg.ExactOnly)
+			if err != nil {
+				r.err = err
+				return
+			}
 			r.out[i] = a
 			scanned += int64(sc)
 			if a.Exact {
@@ -403,10 +408,19 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	qs := make([]points.Vector, len(body.Points))
+	maxCoord := MaxCoord(eng.m.Dim)
 	for i, p := range body.Points {
 		if len(p) != eng.m.Dim {
 			http.Error(w, fmt.Sprintf("point %d has dim %d, model has dim %d", i, len(p), eng.m.Dim), http.StatusBadRequest)
 			return
+		}
+		for _, x := range p {
+			// Reject coordinates whose squared distances could overflow to
+			// +Inf — past that bound no nearest point is computable.
+			if math.IsNaN(x) || math.Abs(x) > maxCoord {
+				http.Error(w, fmt.Sprintf("point %d has non-finite or out-of-range coordinate %v (|x| must be <= %.4g)", i, x, maxCoord), http.StatusBadRequest)
+				return
+			}
 		}
 		qs[i] = p
 	}
@@ -419,7 +433,20 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "overloaded: admission queue full", http.StatusTooManyRequests)
 		return
 	}
-	<-req.done
+	select {
+	case <-req.done:
+	case <-s.quit:
+		// Shutdown's context expired before this request was processed; the
+		// batcher may already have drained and exited, so waiting on done
+		// could block forever. Re-check done to avoid dropping an answer
+		// that raced with the quit close, then fail the request.
+		select {
+		case <-req.done:
+		default:
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+	}
 	if req.err != nil {
 		http.Error(w, req.err.Error(), http.StatusInternalServerError)
 		return
