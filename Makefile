@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet doccheck race bench bench-hot bench-shuffle bench-serve experiments examples clean
+.PHONY: all check build test test-short vet doccheck race bench bench-hot bench-shuffle bench-serve bench-dag bench-dag-smoke experiments examples clean
 
 all: check
 
 # The full gate: compile everything, vet, enforce package docs, run the
-# test suite, and re-run the concurrency-heavy packages under the race
-# detector.
-check: build vet doccheck test race
+# test suite, re-run the concurrency-heavy packages under the race
+# detector, and smoke the DAG scheduler's cache-reuse win.
+check: build vet doccheck test race bench-dag-smoke
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,8 @@ test-short:
 # kernels package rides along for its intra-partition parallel merge path,
 # dfs/chaos for the heartbeat + re-replication machinery and its harness,
 # serve/model for the query server's batching, shedding, and hot reload.
+# ./internal/mapreduce/... recursively covers the dag scheduler package,
+# whose concurrent node dispatch is the newest race surface.
 race:
 	$(GO) test -race ./internal/mapreduce/... ./internal/mapreduce/rpcmr/... ./internal/kernels/... ./internal/dfs/... ./internal/chaos/... ./internal/serve/... ./internal/model/...
 
@@ -62,6 +64,19 @@ bench-shuffle:
 # count so the shed path is exercised too.
 bench-serve:
 	$(GO) run ./cmd/serveload -self -n 50000 -dim 8 -clients 1,8,64 -queue 32 -duration 3s -json
+
+# DAG scheduler comparison: hand-sequenced-equivalent fresh sessions vs a
+# shared cached session, over repeated LSH-DDP + halo runs (wall, job
+# count, staged bytes; numbers recorded in BENCH_PR6.json).
+DAGBENCH_N ?= 20000
+DAGBENCH_RUNS ?= 3
+bench-dag:
+	$(GO) run ./cmd/dagbench -n $(DAGBENCH_N) -runs $(DAGBENCH_RUNS)
+
+# Small fixed-size variant of bench-dag for the check gate and CI: fails
+# loudly if the scheduler or its cache regress into re-executing work.
+bench-dag-smoke:
+	$(GO) run ./cmd/dagbench -n 3000 -runs 2
 
 # Regenerate every table/figure of the paper (several minutes at full scale).
 experiments:

@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -90,7 +91,7 @@ func BenchmarkBasicDDP(b *testing.B) {
 			ds := benchDataset(n)
 			var st core.Stats
 			for i := 0; i < b.N; i++ {
-				res, err := core.RunBasicDDP(ds, core.BasicConfig{
+				res, err := core.RunBasicDDP(context.Background(), ds, core.BasicConfig{
 					Config: core.Config{Seed: 1, DcPercentile: 0.02},
 				})
 				if err != nil {
@@ -109,7 +110,7 @@ func BenchmarkLSHDDP(b *testing.B) {
 			ds := benchDataset(n)
 			var st core.Stats
 			for i := 0; i < b.N; i++ {
-				res, err := core.RunLSHDDP(ds, core.LSHConfig{
+				res, err := core.RunLSHDDP(context.Background(), ds, core.LSHConfig{
 					Config:   core.Config{Seed: 1, DcPercentile: 0.02},
 					Accuracy: 0.99, M: 10, Pi: 3,
 				})
@@ -129,7 +130,7 @@ func BenchmarkEDDPC(b *testing.B) {
 			ds := benchDataset(n)
 			var st core.Stats
 			for i := 0; i < b.N; i++ {
-				res, err := eddpc.Run(ds, eddpc.Config{
+				res, err := eddpc.Run(context.Background(), ds, eddpc.Config{
 					Config: core.Config{Seed: 1, DcPercentile: 0.02},
 				})
 				if err != nil {
@@ -234,7 +235,7 @@ func BenchmarkMapReduceWordcount(b *testing.B) {
 	eng := &mapreduce.LocalEngine{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Run(job, input); err != nil {
+		if _, err := eng.Run(context.Background(), job, input); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -274,7 +275,7 @@ func BenchmarkShuffleSpill(b *testing.B) {
 	b.Run("in-memory", func(b *testing.B) {
 		eng := &mapreduce.LocalEngine{}
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.Run(job, input); err != nil {
+			if _, err := eng.Run(context.Background(), job, input); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -282,7 +283,7 @@ func BenchmarkShuffleSpill(b *testing.B) {
 	b.Run("spill-64k", func(b *testing.B) {
 		eng := &mapreduce.LocalEngine{SpillThresholdBytes: 64 << 10}
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.Run(job, input); err != nil {
+			if _, err := eng.Run(context.Background(), job, input); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -303,7 +304,7 @@ func BenchmarkGaussianKernelLSHDDP(b *testing.B) {
 	ds := benchDataset(2000)
 	var st core.Stats
 	for i := 0; i < b.N; i++ {
-		res, err := core.RunLSHDDP(ds, core.LSHConfig{
+		res, err := core.RunLSHDDP(context.Background(), ds, core.LSHConfig{
 			Config:   core.Config{Seed: 1, DcPercentile: 0.02, Kernel: dp.KernelGaussian},
 			Accuracy: 0.99, M: 10, Pi: 3,
 		})
@@ -321,7 +322,7 @@ func BenchmarkLSHHalo(b *testing.B) {
 		Config:   core.Config{Seed: 1, DcPercentile: 0.02},
 		Accuracy: 0.99, M: 10, Pi: 3,
 	}
-	res, err := core.RunLSHDDP(ds, cfg)
+	res, err := core.RunLSHDDP(context.Background(), ds, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -331,7 +332,7 @@ func BenchmarkLSHHalo(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunLSHHalo(ds, res.Rho, labels, res.Stats.Dc, cfg); err != nil {
+		if _, err := core.RunLSHHalo(context.Background(), ds, res.Rho, labels, res.Stats.Dc, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -343,7 +344,7 @@ func BenchmarkMaxPartitionCap(b *testing.B) {
 		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
 			var st core.Stats
 			for i := 0; i < b.N; i++ {
-				res, err := core.RunLSHDDP(ds, core.LSHConfig{
+				res, err := core.RunLSHDDP(context.Background(), ds, core.LSHConfig{
 					Config:       core.Config{Seed: 1, DcPercentile: 0.02},
 					Accuracy:     0.99,
 					M:            8,
@@ -385,7 +386,7 @@ func BenchmarkDistributedEngine(b *testing.B) {
 	dc := dp.CutoffByPercentile(ds, 0.02, 1)
 	run := func(b *testing.B, eng mapreduce.Engine) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.RunLSHDDP(ds, core.LSHConfig{
+			if _, err := core.RunLSHDDP(context.Background(), ds, core.LSHConfig{
 				Config: core.Config{Engine: eng, Dc: dc, Seed: 1},
 				M:      5, Pi: 3, Accuracy: 0.95,
 			}); err != nil {

@@ -1,0 +1,143 @@
+// Command dagbench measures what the job-DAG scheduler buys over the
+// hand-sequenced pipeline style it replaced. Both arms run the same
+// LSH-DDP + halo pipeline pair the same number of times:
+//
+//   - "fresh" replays the pre-scheduler behavior: every repetition gets
+//     a fresh session with no node cache, so every job re-executes and
+//     the input is re-staged each round — exactly the work the old
+//     hand-sequenced drivers did per invocation;
+//   - "cached" shares one session with a node-result cache across the
+//     repetitions, so repeated (input, conf) sub-graphs are served from
+//     cache without touching the MapReduce engine.
+//
+// Usage:
+//
+//	dagbench -n 20000 -dim 8 -runs 3 -json BENCH_PR6.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+	"repro/internal/mapreduce/dag"
+	"repro/internal/points"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 20000, "points in the generated blob dataset")
+		dim      = flag.Int("dim", 8, "dimensions")
+		clusters = flag.Int("clusters", 8, "blob clusters")
+		runs     = flag.Int("runs", 3, "pipeline repetitions per arm")
+		seed     = flag.Int64("seed", 1, "seed for data generation and algorithms")
+		cacheMB  = flag.Int("cache-mb", 256, "node-result cache size for the cached arm")
+		jsonOut  = flag.String("json", "", "write the result snapshot to this JSON file")
+	)
+	flag.Parse()
+
+	ds := dataset.Blobs("dagbench", *n, *dim, *clusters, 300, 3, *seed)
+	fresh := runArm(ds, *runs, *seed, 0)
+	cached := runArm(ds, *runs, *seed, *cacheMB)
+
+	fmt.Printf("%d points, dim %d, %d runs of LSH-DDP + halo per arm\n\n", *n, *dim, *runs)
+	fmt.Printf("%-28s %10s %8s %14s %12s\n", "arm", "wall", "jobs", "staged-bytes", "cache-hits")
+	for _, a := range []arm{fresh, cached} {
+		fmt.Printf("%-28s %9.2fs %8d %14d %12d\n", a.Arm, a.WallSeconds, a.Jobs, a.StagedBytes, a.CacheHits)
+	}
+	fmt.Printf("\ncached arm: %.1fx wall, %.1f%% of jobs, %.1f%% of staged bytes\n",
+		fresh.WallSeconds/cached.WallSeconds,
+		100*float64(cached.Jobs)/float64(fresh.Jobs),
+		100*float64(cached.StagedBytes)/float64(fresh.StagedBytes))
+
+	if *jsonOut != "" {
+		snap := snapshot{
+			PR:      6,
+			Title:   "Job-DAG scheduler: cached session vs hand-sequenced-equivalent fresh runs",
+			Machine: fmt.Sprintf("%s/%s, %s", runtime.GOOS, runtime.GOARCH, runtime.Version()),
+			Command: fmt.Sprintf("dagbench -n %d -dim %d -clusters %d -runs %d -cache-mb %d", *n, *dim, *clusters, *runs, *cacheMB),
+			Setup: fmt.Sprintf("%d-point dim-%d blob dataset; each arm runs the LSH-DDP pipeline (d_c sample + 4 jobs + transform) "+
+				"then the 2-job halo pipeline, %d times; 'fresh' uses a new uncached session per repetition (the old hand-sequenced cost), "+
+				"'cached' shares one session with a %dMB node-result cache so repeated sub-graphs are cache-served", *n, *dim, *runs, *cacheMB),
+			Arms: []arm{fresh, cached},
+		}
+		f, err := os.Create(*jsonOut)
+		fatal(err)
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		fatal(enc.Encode(snap))
+		fatal(f.Close())
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}
+
+// arm is one execution strategy's totals across the repetitions.
+type arm struct {
+	Arm         string  `json:"arm"`
+	Runs        int     `json:"runs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Jobs        int     `json:"mapreduce_jobs"`
+	StagedBytes int64   `json:"staged_bytes"`
+	CacheHits   int64   `json:"cache_hits"`
+	GCBytes     int64   `json:"gc_bytes"`
+}
+
+// snapshot is the BENCH_PR6.json document.
+type snapshot struct {
+	PR      int    `json:"pr"`
+	Title   string `json:"title"`
+	Machine string `json:"machine"`
+	Command string `json:"command"`
+	Setup   string `json:"setup"`
+	Arms    []arm  `json:"arms"`
+}
+
+// runArm executes `runs` repetitions of LSH-DDP + halo. cacheMB == 0
+// gives every repetition its own uncached session (the hand-sequenced
+// equivalent); cacheMB > 0 shares one cached session across them.
+func runArm(ds *points.Dataset, runs int, seed int64, cacheMB int) arm {
+	name := "fresh (hand-sequenced)"
+	var shared *dag.Session
+	var drv *mapreduce.Driver
+	if cacheMB > 0 {
+		name = "cached session"
+		drv = mapreduce.NewDriver(&mapreduce.LocalEngine{})
+		shared = dag.NewSession(drv, dag.Options{CacheBytes: int64(cacheMB) << 20})
+	}
+	a := arm{Arm: name, Runs: runs}
+	start := time.Now()
+	for r := 0; r < runs; r++ {
+		cfg := core.LSHConfig{
+			Config:   core.Config{Seed: seed, Session: shared},
+			Accuracy: 0.99, M: 10, Pi: 3,
+		}
+		res, err := core.RunLSHDDP(context.Background(), ds, cfg)
+		fatal(err)
+		_, labels, err := res.Cluster(ds, core.SelectTopK(8))
+		fatal(err)
+		halo, err := core.RunLSHHalo(context.Background(), ds, res.Rho, labels, res.Stats.Dc, cfg)
+		fatal(err)
+		for _, st := range []core.Stats{res.Stats, halo.Stats} {
+			a.Jobs += len(st.Jobs)
+			a.StagedBytes += st.Dag[dag.CtrStageBytes]
+			a.CacheHits += st.Dag[dag.CtrCacheHits]
+			a.GCBytes += st.Dag[dag.CtrGCBytes]
+		}
+	}
+	a.WallSeconds = time.Since(start).Seconds()
+	return a
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dagbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -23,9 +23,13 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -108,8 +112,18 @@ func main() {
 		cfg.Trace = trace
 	}
 
+	// SIGINT cancels the pipeline between (and inside) jobs: the DAG
+	// scheduler stops dispatching nodes, drains in-flight work, and the
+	// run returns context.Canceled instead of dying mid-shuffle.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	res, err := runAlgorithm(ds, *algo, cfg, *accuracy, *mFlag, *piFlag, *block)
+	res, err := runAlgorithm(ctx, ds, *algo, cfg, *accuracy, *mFlag, *piFlag, *block)
+	if err != nil && errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "ddp: interrupted")
+		os.Exit(130)
+	}
 	fatal(err)
 
 	if trace != nil {
@@ -142,7 +156,7 @@ func main() {
 	if *halo || *export != "" {
 		// The model artifact carries border densities so clusterd can flag
 		// halo points, so -export-model implies the halo job.
-		hr, err := core.RunLSHHalo(ds, res.Rho, labels, res.Stats.Dc, core.LSHConfig{
+		hr, err := core.RunLSHHalo(ctx, ds, res.Rho, labels, res.Stats.Dc, core.LSHConfig{
 			Config: cfg, Accuracy: *accuracy, M: *mFlag, Pi: *piFlag,
 		})
 		fatal(err)
@@ -220,14 +234,14 @@ func buildEngine(listen string, minWorkers int, wait, monitor time.Duration, ver
 	return m, func() { m.Close() }, nil
 }
 
-func runAlgorithm(ds *dataset.DS, algo string, cfg core.Config, accuracy float64, m, pi, block int) (*core.Result, error) {
+func runAlgorithm(ctx context.Context, ds *dataset.DS, algo string, cfg core.Config, accuracy float64, m, pi, block int) (*core.Result, error) {
 	switch algo {
 	case "lsh":
-		return core.RunLSHDDP(ds, core.LSHConfig{Config: cfg, Accuracy: accuracy, M: m, Pi: pi})
+		return core.RunLSHDDP(ctx, ds, core.LSHConfig{Config: cfg, Accuracy: accuracy, M: m, Pi: pi})
 	case "basic":
-		return core.RunBasicDDP(ds, core.BasicConfig{Config: cfg, BlockSize: block})
+		return core.RunBasicDDP(ctx, ds, core.BasicConfig{Config: cfg, BlockSize: block})
 	case "eddpc":
-		return eddpc.Run(ds, eddpc.Config{Config: cfg})
+		return eddpc.Run(ctx, ds, eddpc.Config{Config: cfg})
 	case "exact":
 		dcv := cfg.Dc
 		if dcv <= 0 {

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/mapreduce"
+	"repro/internal/mapreduce/dag"
 	"repro/internal/obs"
 )
 
@@ -169,12 +170,35 @@ type perfEntry struct {
 	// whereas shuffle_bytes is the paper's logical volume.
 	ShuffleWireBytes     int64 `json:"shuffle_wire_bytes,omitempty"`
 	ShuffleWireBytesComp int64 `json:"shuffle_wire_bytes_compressed,omitempty"`
+	// DAG scheduler totals, folded from the "dag:*" scheduler traces (one
+	// per graph run). DagRuns counts graph executions; the dag_* counters
+	// mirror the mr.dag.* counter namespace documented in OPERATIONS.md.
+	DagRuns           int   `json:"dag_runs,omitempty"`
+	DagNodes          int64 `json:"dag_nodes,omitempty"`
+	DagCacheHits      int64 `json:"dag_cache_hits,omitempty"`
+	DagCacheMisses    int64 `json:"dag_cache_misses,omitempty"`
+	DagCacheEvictions int64 `json:"dag_cache_evictions,omitempty"`
+	DagStageBytes     int64 `json:"dag_stage_bytes,omitempty"`
+	DagGCBytes        int64 `json:"dag_gc_bytes,omitempty"`
 }
 
 // summarize folds the job traces an experiment produced into one perf row.
+// Scheduler ("dag:*") traces carry dag.* counters and are tallied apart
+// from the MapReduce jobs they scheduled.
 func summarize(name string, wall time.Duration, jobs []obs.JobTrace) perfEntry {
-	e := perfEntry{Experiment: name, WallSeconds: wall.Seconds(), Jobs: len(jobs)}
+	e := perfEntry{Experiment: name, WallSeconds: wall.Seconds()}
 	for _, j := range jobs {
+		if strings.HasPrefix(j.Job, "dag:") {
+			e.DagRuns++
+			e.DagNodes += j.Counters[dag.CtrNodes]
+			e.DagCacheHits += j.Counters[dag.CtrCacheHits]
+			e.DagCacheMisses += j.Counters[dag.CtrCacheMisses]
+			e.DagCacheEvictions += j.Counters[dag.CtrCacheEvictions]
+			e.DagStageBytes += j.Counters[dag.CtrStageBytes]
+			e.DagGCBytes += j.Counters[dag.CtrGCBytes]
+			continue
+		}
+		e.Jobs++
 		e.DistanceComps += j.Counters[mapreduce.CtrDistanceComputations]
 		e.ShuffleBytes += j.Counters[mapreduce.CtrShuffleBytes]
 		e.ParallelGroup += j.Counters[mapreduce.CtrParallelGroups]

@@ -83,6 +83,9 @@ func runMaster(args []string) {
 	m.MonitorInterval = *monitor
 	fmt.Printf("mrd: master listening on %s\n", m.Addr())
 	waitForSignal()
+	// Abort whatever job is in flight so workers drain cleanly and the
+	// client gets a failure instead of a hung RPC, then print history.
+	m.Abort(fmt.Errorf("rpcmr: master interrupted by signal"))
 	for _, rec := range m.History() {
 		status := "ok"
 		if rec.Failed {

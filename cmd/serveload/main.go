@@ -117,7 +117,7 @@ func parseLevels(s string) ([]int, error) {
 func runSelf(n, dim, k int, seed int64, levels []int, dur time.Duration, queue, batchMax, workers int) ([]levelResult, error) {
 	ds := dataset.Blobs("bench-serve", n, dim, k, 100, 2.5, seed)
 	fmt.Fprintf(os.Stderr, "serveload: training LSH-DDP on %d points (dim %d)...\n", n, dim)
-	res, err := core.RunLSHDDP(ds, core.LSHConfig{Config: core.Config{Seed: seed}})
+	res, err := core.RunLSHDDP(context.Background(), ds, core.LSHConfig{Config: core.Config{Seed: seed}})
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +125,7 @@ func runSelf(n, dim, k int, seed int64, levels []int, dur time.Duration, queue, 
 	if err != nil {
 		return nil, err
 	}
-	hr, err := core.RunLSHHalo(ds, res.Rho, labels, res.Stats.Dc, core.LSHConfig{Config: core.Config{Seed: seed}})
+	hr, err := core.RunLSHHalo(context.Background(), ds, res.Rho, labels, res.Stats.Dc, core.LSHConfig{Config: core.Config{Seed: seed}})
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 
 	fmt.Printf("\n%-6s %-10s %-8s %-8s %-9s %-12s\n", "A", "w", "tau1", "tau2", "runtime", "dist")
 	for _, accuracy := range []float64{0.5, 0.7, 0.9, 0.95, 0.99} {
-		res, err := core.RunLSHDDP(ds, core.LSHConfig{
+		res, err := core.RunLSHDDP(context.Background(), ds, core.LSHConfig{
 			Config:   core.Config{Seed: 1, Dc: dc},
 			Accuracy: accuracy, M: 10, Pi: 3,
 		})

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -23,13 +24,13 @@ func main() {
 	ds := dataset.S2(42)
 	fmt.Printf("S2: %d points, 15 generated clusters\n\n", ds.N())
 
-	basic, err := core.RunBasicDDP(ds, core.BasicConfig{
+	basic, err := core.RunBasicDDP(context.Background(), ds, core.BasicConfig{
 		Config: core.Config{Seed: 1, DcPercentile: 0.02},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	lshRes, err := core.RunLSHDDP(ds, core.LSHConfig{
+	lshRes, err := core.RunLSHDDP(context.Background(), ds, core.LSHConfig{
 		Config:   core.Config{Seed: 1, Dc: basic.Stats.Dc},
 		Accuracy: 0.99, M: 10, Pi: 3,
 	})

@@ -14,6 +14,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -115,7 +116,7 @@ func main() {
 		Accuracy: 0.99, M: 10, Pi: 3,
 	}
 	fmt.Println("running LSH-DDP on the TCP cluster:")
-	distRes, err := core.RunLSHDDP(loaded, cfg)
+	distRes, err := core.RunLSHDDP(context.Background(), loaded, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func main() {
 	localCfg := cfg
 	localCfg.Engine = &mapreduce.LocalEngine{}
 	localCfg.Log = nil
-	localRes, err := core.RunLSHDDP(loaded, localCfg)
+	localRes, err := core.RunLSHDDP(context.Background(), loaded, localCfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 		Config:   core.Config{Seed: 1},
 		Accuracy: 0.99, M: 10, Pi: 3,
 	}
-	res, err := core.RunLSHDDP(ds, cfg)
+	res, err := core.RunLSHDDP(context.Background(), ds, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func main() {
 	}
 
 	// Distributed halo detection: two more MapReduce jobs.
-	hr, err := core.RunLSHHalo(ds, res.Rho, labels, res.Stats.Dc, cfg)
+	hr, err := core.RunLSHHalo(context.Background(), ds, res.Rho, labels, res.Stats.Dc, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -54,7 +55,7 @@ func main() {
 	// Run LSH-DDP with the paper's recommended parameters: expected
 	// accuracy A=0.99, M=10 hash layouts, π=3 functions per layout. The
 	// cutoff distance d_c and the hash width w are derived automatically.
-	res, err := core.RunLSHDDP(ds, core.LSHConfig{
+	res, err := core.RunLSHDDP(context.Background(), ds, core.LSHConfig{
 		Config:   cfg,
 		Accuracy: 0.99,
 		M:        10,

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -27,13 +28,13 @@ func TestExactAlgorithmsAgreeBitForBit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	basic, err := core.RunBasicDDP(ds, core.BasicConfig{
+	basic, err := core.RunBasicDDP(context.Background(), ds, core.BasicConfig{
 		Config: core.Config{Engine: eng, Dc: dc},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ed, err := eddpc.Run(ds, eddpc.Config{
+	ed, err := eddpc.Run(context.Background(), ds, eddpc.Config{
 		Config: core.Config{Engine: eng, Dc: dc, Seed: 2},
 	})
 	if err != nil {
@@ -107,7 +108,7 @@ func TestFullDistributedPipeline(t *testing.T) {
 		}
 	}()
 
-	res, err := core.RunLSHDDP(staged, core.LSHConfig{
+	res, err := core.RunLSHDDP(context.Background(), staged, core.LSHConfig{
 		Config:   core.Config{Engine: master, Seed: 3},
 		Accuracy: 0.99, M: 8, Pi: 3,
 	})
@@ -130,7 +131,7 @@ func TestFullDistributedPipeline(t *testing.T) {
 	}
 
 	// Halo detection on the same cluster engine.
-	halo, err := core.RunLSHHalo(staged, res.Rho, labels, res.Stats.Dc, core.LSHConfig{
+	halo, err := core.RunLSHHalo(context.Background(), staged, res.Rho, labels, res.Stats.Dc, core.LSHConfig{
 		Config:   core.Config{Engine: master, Seed: 3},
 		Accuracy: 0.99, M: 8, Pi: 3,
 	})
@@ -180,7 +181,7 @@ func TestLSHDDPApproximatesExactOnAllRegistrySets(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := core.RunLSHDDP(ds, core.LSHConfig{
+			res, err := core.RunLSHDDP(context.Background(), ds, core.LSHConfig{
 				Config:   core.Config{Engine: eng, Dc: dc, Seed: 5},
 				Accuracy: 0.99, M: 10, Pi: 3,
 			})
@@ -220,7 +221,7 @@ func TestDistributedKMeansOnCluster(t *testing.T) {
 		}
 	}()
 	ds := dataset.Blobs("kmr-rpc", 500, 3, 3, 400, 2, 13)
-	res, err := kmeansmr.Run(ds, kmeansmr.Config{
+	res, err := kmeansmr.Run(context.Background(), ds, kmeansmr.Config{
 		Engine: master, K: 3, MaxIter: 15, Tol: 1e-9, Seed: 1,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/kernels"
 	"repro/internal/mapreduce"
+	"repro/internal/mapreduce/dag"
 	"repro/internal/points"
 )
 
@@ -28,20 +30,22 @@ func (c *BasicConfig) blockSize() int {
 	return 500
 }
 
-// RunBasicDDP executes the exact Basic-DDP pipeline of Section III:
+// RunBasicDDP executes the exact Basic-DDP pipeline of Section III as one
+// job DAG:
 //
-//	job 0  d_c sampling (unless cfg.Dc is set)
-//	job 1  blocked all-pairs ρ partials
-//	job 2  ρ aggregation (sum)
-//	job 3  blocked all-pairs δ partials (+ max-distance fallbacks)
-//	job 4  δ aggregation (min; fallback max for the absolute peak)
+//	node 0  d_c sampling (unless cfg.Dc is set)
+//	node 1  blocked all-pairs ρ partials
+//	node 2  ρ aggregation (sum)
+//	node 3  ρ̂-annotate transform (driver side)
+//	node 4  blocked all-pairs δ partials (+ max-distance fallbacks)
+//	node 5  δ aggregation (min; fallback max for the absolute peak)
 //
 // The blocking follows the paper exactly: the point set is split into n
 // blocks; block k is shuffled only to reducers l ≥ k, so reducer l
 // materializes every block pair (k, l), k ≤ l, exactly once — each point is
 // shuffled (n−k) times, (n+1)/2 on average, and every unordered point pair
 // is evaluated exactly once globally.
-func RunBasicDDP(ds *points.Dataset, cfg BasicConfig) (*Result, error) {
+func RunBasicDDP(ctx context.Context, ds *points.Dataset, cfg BasicConfig) (*Result, error) {
 	start := time.Now()
 	if err := ds.Validate(); err != nil {
 		return nil, err
@@ -49,12 +53,13 @@ func RunBasicDDP(ds *points.Dataset, cfg BasicConfig) (*Result, error) {
 	if ds.N() < 2 {
 		return nil, fmt.Errorf("core: need at least 2 points, have %d", ds.N())
 	}
-	drv := mapreduce.NewDriver(cfg.engine())
-	drv.Log = cfg.Log
-	drv.Trace = cfg.Trace
-	input := InputPairs(ds)
+	sess := cfg.DagSession()
+	mark := MarkRunner(sess.Runner())
+	traceMark := len(sess.Traces())
+	dagBefore := sess.Counters()
+	input := sess.Stage("points", InputPairs(ds))
 
-	dc, err := ChooseDc(drv, ds, &cfg.Config, input)
+	dc, err := ChooseDc(ctx, sess, ds, &cfg.Config, input)
 	if err != nil {
 		return nil, err
 	}
@@ -66,45 +71,40 @@ func RunBasicDDP(ds *points.Dataset, cfg BasicConfig) (*Result, error) {
 	setKernelConf(conf, cfg.Kernel)
 	setParallelConf(conf, &cfg.Config)
 
-	// Jobs 1+2: exact ρ.
-	partials, err := drv.Run(withReduces(BasicRhoJob(conf), cfg.NumReduces), input)
-	if err != nil {
-		return nil, err
-	}
-	rhoOut, err := drv.Run(withReduces(RhoAggJob(JobBasicAgg, mapreduce.Conf{}), cfg.NumReduces), partials.Output)
-	if err != nil {
-		return nil, err
-	}
-	rho, err := DecodeRhoArray(rhoOut.Output, ds.N())
-	if err != nil {
-		return nil, err
-	}
+	g := dag.NewGraph("basic-ddp")
+	partials := g.Job(BasicRhoJob(conf).WithReduces(cfg.NumReduces), input)
+	rhoOut := g.Job(RhoAggJob(JobBasicAgg, mapreduce.Conf{}).WithReduces(cfg.NumReduces), partials)
+	// The transform closes over ds, which the fingerprint chain pins
+	// transitively: rhoOut derives from the staged input, whose
+	// fingerprint is the dataset content.
+	rhoPts := g.Transform("basic-rho-points", func(in ...[]mapreduce.Pair) ([]mapreduce.Pair, error) {
+		rho, err := DecodeRhoArray(in[0], ds.N())
+		if err != nil {
+			return nil, err
+		}
+		return RhoPointPairs(ds, rho), nil
+	}, rhoOut)
+	dPartials := g.Job(BasicDeltaJob(conf).WithReduces(cfg.NumReduces), rhoPts)
+	dOut := g.Job(DeltaAggJob(JobBasicDAgg, mapreduce.Conf{}).WithReduces(cfg.NumReduces), dPartials)
 
-	// Jobs 3+4: exact δ.
-	dIn := RhoPointPairs(ds, rho)
-	dPartials, err := drv.Run(withReduces(BasicDeltaJob(conf), cfg.NumReduces), dIn)
+	outs, err := sess.Run(ctx, g, rhoOut, dOut)
 	if err != nil {
 		return nil, err
 	}
-	dOut, err := drv.Run(withReduces(DeltaAggJob(JobBasicDAgg, mapreduce.Conf{}), cfg.NumReduces), dPartials.Output)
+	rho, err := DecodeRhoArray(outs[0], ds.N())
 	if err != nil {
 		return nil, err
 	}
-	delta, upslope, err := DecodeDeltaArrays(dOut.Output, ds.N())
+	delta, upslope, err := DecodeDeltaArrays(outs[1], ds.N())
 	if err != nil {
 		return nil, err
 	}
 
 	res := &Result{Rho: rho, Delta: delta, Upslope: upslope}
 	res.Stats.Dc = dc
-	CollectStats(&res.Stats, drv, start)
+	CollectStats(&res.Stats, sess.Runner(), mark, start)
+	CollectDagStats(&res.Stats, sess, traceMark, dagBefore)
 	return res, nil
-}
-
-// withReduces applies the configured reduce-task count to a job.
-func withReduces(j *mapreduce.Job, n int) *mapreduce.Job {
-	j.NumReduces = n
-	return j
 }
 
 // blockOf assigns a point to a block by ID. IDs are dense, so blocks are

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestBasicDDPMatchesSequentialDP(t *testing.T) {
 	ref := exactReference(t, ds, dc)
 
 	for _, blockSize := range []int{50, 97, 400, 1000} {
-		res, err := RunBasicDDP(ds, BasicConfig{
+		res, err := RunBasicDDP(context.Background(), ds, BasicConfig{
 			Config:    Config{Engine: testEngine(), Dc: dc},
 			BlockSize: blockSize,
 		})
@@ -56,7 +57,7 @@ func TestBasicDDPMatchesSequentialDP(t *testing.T) {
 func TestBasicDDPDistanceCount(t *testing.T) {
 	ds := dataset.Blobs("basic-cost", 300, 2, 3, 50, 2, 3)
 	n := int64(ds.N())
-	res, err := RunBasicDDP(ds, BasicConfig{
+	res, err := RunBasicDDP(context.Background(), ds, BasicConfig{
 		Config:    Config{Engine: testEngine(), Dc: 1.5},
 		BlockSize: 60,
 	})
@@ -72,7 +73,7 @@ func TestBasicDDPDistanceCount(t *testing.T) {
 
 func TestBasicDDPAutoDc(t *testing.T) {
 	ds := dataset.Blobs("basic-autodc", 500, 2, 3, 50, 2, 11)
-	res, err := RunBasicDDP(ds, BasicConfig{
+	res, err := RunBasicDDP(context.Background(), ds, BasicConfig{
 		Config: Config{Engine: testEngine(), DcPercentile: 0.02, Seed: 5},
 	})
 	if err != nil {
@@ -92,7 +93,7 @@ func TestBasicDDPAutoDc(t *testing.T) {
 func TestBasicDDPAbsolutePeak(t *testing.T) {
 	ds := dataset.Blobs("basic-peak", 200, 2, 1, 10, 1, 2)
 	dc := dp.CutoffByPercentile(ds, 0.05, 1)
-	res, err := RunBasicDDP(ds, BasicConfig{
+	res, err := RunBasicDDP(context.Background(), ds, BasicConfig{
 		Config:    Config{Engine: testEngine(), Dc: dc},
 		BlockSize: 37,
 	})
@@ -129,7 +130,7 @@ func TestBasicDDPAbsolutePeak(t *testing.T) {
 
 func TestBasicDDPClusterRecovery(t *testing.T) {
 	ds := dataset.Blobs("basic-clusters", 600, 2, 4, 200, 3, 13)
-	res, err := RunBasicDDP(ds, BasicConfig{
+	res, err := RunBasicDDP(context.Background(), ds, BasicConfig{
 		Config: Config{Engine: testEngine(), DcPercentile: 0.02, Seed: 1},
 	})
 	if err != nil {
@@ -173,12 +174,12 @@ func TestBasicDDPClusterRecovery(t *testing.T) {
 
 func TestBasicDDPErrors(t *testing.T) {
 	tiny := points.FromVectors("tiny", []points.Vector{{0, 0}})
-	if _, err := RunBasicDDP(tiny, BasicConfig{Config: Config{Engine: testEngine()}}); err == nil {
+	if _, err := RunBasicDDP(context.Background(), tiny, BasicConfig{Config: Config{Engine: testEngine()}}); err == nil {
 		t.Fatal("want error for single-point data set")
 	}
 	// Degenerate data (all identical points) cannot produce a positive d_c.
 	same := points.FromVectors("same", []points.Vector{{1, 1}, {1, 1}, {1, 1}, {1, 1}})
-	if _, err := RunBasicDDP(same, BasicConfig{Config: Config{Engine: testEngine()}}); err == nil {
+	if _, err := RunBasicDDP(context.Background(), same, BasicConfig{Config: Config{Engine: testEngine()}}); err == nil {
 		t.Fatal("want error for degenerate data set")
 	}
 }

@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/decision"
 	"repro/internal/dp"
 	"repro/internal/mapreduce"
+	"repro/internal/mapreduce/dag"
 	"repro/internal/obs"
 	"repro/internal/points"
 )
@@ -79,6 +81,10 @@ type Stats struct {
 	// combine / sort / shuffle / reduce): task counts, wall time,
 	// records, and bytes — where the run spent its time.
 	Phases obs.PhaseTotals
+	// Dag holds this run's dag.* scheduler counter deltas (nodes run,
+	// cache hits/misses, staged and collected bytes) — see the dag
+	// package's Ctr* constants.
+	Dag map[string]int64
 	// Dc is the cutoff distance used (chosen or configured).
 	Dc float64
 	// W, Pi, M record the LSH parameters actually used (LSH-DDP only).
@@ -180,6 +186,21 @@ type Config struct {
 	// Trace, when non-nil, collects every job's structured trace; wire it
 	// to obs.Trace.WriteJSONL / WriteTree for per-task phase timing.
 	Trace *obs.Trace
+	// Session, when non-nil, is a shared DAG session the pipeline
+	// schedules onto: its node-result cache and staged datasets persist
+	// across pipeline runs, so an unchanged sub-pipeline (the d_c job, the
+	// ρ jobs when only δ parameters moved, a repeated run) is served from
+	// cache. Engine is ignored when set — the session's runner is used.
+	Session *dag.Session
+	// DagWorkers bounds concurrent DAG nodes when the pipeline builds its
+	// own session (Session nil); 0 defers to the engine's declared job
+	// concurrency. Conf key "mr.dag.workers".
+	DagWorkers int
+	// DagCacheMB sizes the per-run node-result cache in MiB when Session
+	// is nil; 0 disables caching. Conf key "mr.dag.cache.mb". Cross-run
+	// reuse needs a shared Session — a private cache only serves repeated
+	// sub-graphs within one pipeline run.
+	DagCacheMB int
 }
 
 func (c *Config) engine() mapreduce.Engine {
@@ -187,6 +208,24 @@ func (c *Config) engine() mapreduce.Engine {
 		return c.Engine
 	}
 	return &mapreduce.LocalEngine{}
+}
+
+// DagSession resolves the session a pipeline schedules its graph onto:
+// the shared c.Session when set, otherwise a fresh private session over
+// c.Engine with the c.Dag* knobs applied.
+func (c *Config) DagSession() *dag.Session {
+	if c.Session != nil {
+		return c.Session
+	}
+	drv := mapreduce.NewDriver(c.engine())
+	drv.Log = c.Log
+	drv.Trace = c.Trace
+	return dag.NewSession(drv, dag.Options{
+		Workers:    c.DagWorkers,
+		CacheBytes: int64(c.DagCacheMB) << 20,
+		Log:        c.Log,
+		Trace:      c.Trace,
+	})
 }
 
 // DcPercentileOrDefault returns the effective d_c quantile (default 0.02).
@@ -282,13 +321,15 @@ func DcSampleJob(conf mapreduce.Conf) *mapreduce.Job {
 	}
 }
 
-// ChooseDc runs the shared d_c preprocessing job on r unless cfg.Dc pins
-// a value: it samples at most cfg.DcSamplePoints points, computes all
-// pairwise distances at a single reducer, and returns the configured
-// quantile (Section III-A's rule of thumb). Every algorithm package
-// (Basic-DDP, LSH-DDP, EDDPC) calls this with its own Runner so the job
-// shows up in that pipeline's stats and trace.
-func ChooseDc(r mapreduce.Runner, ds *points.Dataset, cfg *Config, input []mapreduce.Pair) (float64, error) {
+// ChooseDc runs the shared d_c preprocessing job as a one-node graph on s
+// unless cfg.Dc pins a value: it samples at most cfg.DcSamplePoints
+// points, computes all pairwise distances at a single reducer, and
+// returns the configured quantile (Section III-A's rule of thumb). Every
+// algorithm package (Basic-DDP, LSH-DDP, EDDPC) calls this with its own
+// session so the job shows up in that pipeline's stats and trace — and,
+// on a shared cached session, is computed once per (input, conf) across
+// pipelines.
+func ChooseDc(ctx context.Context, s *dag.Session, ds *points.Dataset, cfg *Config, input *dag.Dataset) (float64, error) {
 	if cfg.Dc > 0 {
 		return cfg.Dc, nil
 	}
@@ -300,11 +341,13 @@ func ChooseDc(r mapreduce.Runner, ds *points.Dataset, cfg *Config, input []mapre
 	conf.SetFloat(confSampleFrac, frac)
 	conf.SetFloat(confPercentile, cfg.DcPercentileOrDefault())
 	conf.SetInt64(confSeed, cfg.Seed)
-	res, err := r.Run(DcSampleJob(conf), input)
+	g := dag.NewGraph("choose-dc")
+	dcOut := g.Job(DcSampleJob(conf), input)
+	outs, err := s.Run(ctx, g, dcOut)
 	if err != nil {
 		return 0, err
 	}
-	out := res.Output
+	out := outs[0]
 	if len(out) != 1 {
 		return 0, fmt.Errorf("core: d_c job produced %d records, want 1", len(out))
 	}
@@ -325,14 +368,75 @@ func sampleHash(id int32, seed int64) float64 {
 	return float64(x>>11) / (1 << 53)
 }
 
-// CollectStats folds runner totals — job stats, counters, and per-phase
-// trace aggregates — into Stats. It works on any Runner: local Driver or
-// rpcmr Master.
-func CollectStats(st *Stats, r mapreduce.Runner, start time.Time) {
-	st.Jobs = r.Jobs()
-	st.JobWall = r.TotalWall()
-	st.ShuffleBytes = r.TotalCounter(mapreduce.CtrShuffleBytes)
-	st.DistanceComputations = r.TotalCounter(mapreduce.CtrDistanceComputations)
-	st.Phases = obs.Totals(r.Traces())
+// RunnerMark is a position in a runner's job history, taken before a
+// pipeline runs so its stats can be carved out of a shared runner that
+// has already executed other pipelines' jobs.
+type RunnerMark struct {
+	Jobs   int
+	Traces int
+}
+
+// MarkRunner records the runner's current job-history position.
+func MarkRunner(r mapreduce.Runner) RunnerMark {
+	return RunnerMark{Jobs: len(r.Jobs()), Traces: len(r.Traces())}
+}
+
+// CollectStats folds the jobs the runner executed since mark — stats,
+// counters, and per-phase trace aggregates — into Stats. It works on any
+// Runner: local Driver or rpcmr Master. On a runner private to one
+// pipeline run, a zero mark collects everything, matching the old
+// whole-runner totals.
+func CollectStats(st *Stats, r mapreduce.Runner, mark RunnerMark, start time.Time) {
+	jobs := r.Jobs()
+	if mark.Jobs <= len(jobs) {
+		jobs = jobs[mark.Jobs:]
+	}
+	st.Jobs = jobs
+	st.JobWall = 0
+	st.ShuffleBytes = 0
+	st.DistanceComputations = 0
+	for _, j := range jobs {
+		st.JobWall += j.Wall
+		st.ShuffleBytes += j.Counters[mapreduce.CtrShuffleBytes]
+		st.DistanceComputations += j.Counters[mapreduce.CtrDistanceComputations]
+	}
+	traces := r.Traces()
+	if mark.Traces <= len(traces) {
+		traces = traces[mark.Traces:]
+	}
+	st.Phases = obs.Totals(traces)
 	st.Wall = time.Since(start)
+}
+
+// dagDelta subtracts two session counter snapshots, yielding one
+// pipeline run's dag.* contribution on a possibly shared session.
+func dagDelta(after, before map[string]int64) map[string]int64 {
+	d := make(map[string]int64, len(after))
+	for k, v := range after {
+		if dv := v - before[k]; dv != 0 {
+			d[k] = dv
+		}
+	}
+	return d
+}
+
+// CollectDagStats folds the session's dag-level signals since the marks
+// into Stats: this run's dag.* counter deltas (before = the counter
+// snapshot taken ahead of the run), plus the scheduler's per-node spans
+// merged into Phases under obs.PhaseDag. Call after CollectStats (which
+// resets Phases).
+func CollectDagStats(st *Stats, s *dag.Session, traceMark int, before map[string]int64) {
+	st.Dag = dagDelta(s.Counters(), before)
+	trs := s.Traces()
+	if traceMark > len(trs) {
+		traceMark = len(trs)
+	}
+	for ph, agg := range obs.Totals(trs[traceMark:]) {
+		cur := st.Phases[ph]
+		cur.Tasks += agg.Tasks
+		cur.Wall += agg.Wall
+		cur.Records += agg.Records
+		cur.Bytes += agg.Bytes
+		st.Phases[ph] = cur
+	}
 }

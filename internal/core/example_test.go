@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -11,7 +12,7 @@ import (
 // The one-call happy path: run LSH-DDP and cluster the result.
 func ExampleRunLSHDDP() {
 	ds := dataset.Blobs("example", 600, 2, 3, 300, 3, 42)
-	res, err := core.RunLSHDDP(ds, core.LSHConfig{
+	res, err := core.RunLSHDDP(context.Background(), ds, core.LSHConfig{
 		Config:   core.Config{Engine: &mapreduce.LocalEngine{Parallelism: 2}, Seed: 1},
 		Accuracy: 0.99, M: 10, Pi: 3,
 	})
@@ -38,7 +39,7 @@ func ExampleRunLSHDDP() {
 // Exact Basic-DDP with a pinned cutoff distance.
 func ExampleRunBasicDDP() {
 	ds := dataset.Blobs("example-basic", 300, 2, 2, 100, 3, 7)
-	res, err := core.RunBasicDDP(ds, core.BasicConfig{
+	res, err := core.RunBasicDDP(context.Background(), ds, core.BasicConfig{
 		Config:    core.Config{Engine: &mapreduce.LocalEngine{Parallelism: 2}, Dc: 4},
 		BlockSize: 64,
 	})

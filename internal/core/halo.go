@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"time"
 
 	"repro/internal/lsh"
 	"repro/internal/mapreduce"
+	"repro/internal/mapreduce/dag"
 	"repro/internal/points"
 )
 
@@ -153,7 +155,7 @@ func LSHHaloAggJob(conf mapreduce.Conf) *mapreduce.Job {
 // Result.Cluster, dc the cutoff used to produce them. LSH parameters
 // follow cfg exactly as in RunLSHDDP (width solved from cfg.Accuracy when
 // cfg.W is 0).
-func RunLSHHalo(ds *points.Dataset, rho []float64, labels []int32, dc float64, cfg LSHConfig) (*HaloResult, error) {
+func RunLSHHalo(ctx context.Context, ds *points.Dataset, rho []float64, labels []int32, dc float64, cfg LSHConfig) (*HaloResult, error) {
 	start := time.Now()
 	if err := ds.Validate(); err != nil {
 		return nil, err
@@ -194,14 +196,16 @@ func RunLSHHalo(ds *points.Dataset, rho []float64, labels []int32, dc float64, c
 	for i, p := range ds.Points {
 		input[i] = mapreduce.Pair{Value: encodeLabeled(points.RhoPoint{Point: p, Rho: rho[i]}, labels[i])}
 	}
-	drv := mapreduce.NewDriver(cfg.engine())
-	drv.Log = cfg.Log
-	drv.Trace = cfg.Trace
-	partials, err := drv.Run(withReduces(LSHHaloJob(conf.Clone()), cfg.NumReduces), input)
-	if err != nil {
-		return nil, err
-	}
-	agg, err := drv.Run(withReduces(LSHHaloAggJob(mapreduce.Conf{}), cfg.NumReduces), partials.Output)
+	sess := cfg.DagSession()
+	mark := MarkRunner(sess.Runner())
+	traceMark := len(sess.Traces())
+	dagBefore := sess.Counters()
+	in := sess.Stage("halo-points", input)
+
+	g := dag.NewGraph("lsh-halo")
+	partials := g.Job(LSHHaloJob(conf).WithReduces(cfg.NumReduces), in)
+	agg := g.Job(LSHHaloAggJob(mapreduce.Conf{}).WithReduces(cfg.NumReduces), partials)
+	outs, err := sess.Run(ctx, g, agg)
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +214,7 @@ func RunLSHHalo(ds *points.Dataset, rho []float64, labels []int32, dc float64, c
 		Halo:   make([]bool, ds.N()),
 		Border: make([]float64, nClusters),
 	}
-	for _, p := range agg.Output {
+	for _, p := range outs[0] {
 		var c int32
 		if _, err := fmt.Sscanf(p.Key, "c%d", &c); err != nil {
 			return nil, fmt.Errorf("core: bad cluster key %q", p.Key)
@@ -227,7 +231,8 @@ func RunLSHHalo(ds *points.Dataset, rho []float64, labels []int32, dc float64, c
 	res.Stats.W = w
 	res.Stats.Pi = cfg.pi()
 	res.Stats.M = cfg.m()
-	CollectStats(&res.Stats, drv, start)
+	CollectStats(&res.Stats, sess.Runner(), mark, start)
+	CollectDagStats(&res.Stats, sess, traceMark, dagBefore)
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dataset"
@@ -22,7 +23,7 @@ func haloFixture(t *testing.T) (ds *points.Dataset, rho []float64, labels []int3
 		vs = append(vs, points.Vector{14 + rng.NormFloat64()*3, rng.NormFloat64() * 3})
 	}
 	base := points.FromVectors("halo-fix", vs)
-	res, err := RunLSHDDP(base, LSHConfig{
+	res, err := RunLSHDDP(context.Background(), base, LSHConfig{
 		Config:   Config{Engine: testEngine(), DcPercentile: 0.02, Seed: 3},
 		Accuracy: 0.99, M: 10, Pi: 3,
 	})
@@ -38,7 +39,7 @@ func haloFixture(t *testing.T) (ds *points.Dataset, rho []float64, labels []int3
 
 func TestRunLSHHaloFlagsSparseBridge(t *testing.T) {
 	ds, rho, labels, dc := haloFixture(t)
-	hr, err := RunLSHHalo(ds, rho, labels, dc, LSHConfig{
+	hr, err := RunLSHHalo(context.Background(), ds, rho, labels, dc, LSHConfig{
 		Config:   Config{Engine: testEngine(), Seed: 3},
 		Accuracy: 0.99, M: 10, Pi: 3,
 	})
@@ -86,7 +87,7 @@ func TestRunLSHHaloFlagsSparseBridge(t *testing.T) {
 
 func TestRunLSHHaloUnderestimatesExactBorder(t *testing.T) {
 	ds, rho, labels, dc := haloFixture(t)
-	hr, err := RunLSHHalo(ds, rho, labels, dc, LSHConfig{
+	hr, err := RunLSHHalo(context.Background(), ds, rho, labels, dc, LSHConfig{
 		Config:   Config{Engine: testEngine(), Seed: 3},
 		Accuracy: 0.99, M: 10, Pi: 3,
 	})
@@ -106,14 +107,14 @@ func TestRunLSHHaloValidation(t *testing.T) {
 	rho := make([]float64, 50)
 	labels := make([]int32, 50)
 	cfg := LSHConfig{Config: Config{Engine: testEngine()}}
-	if _, err := RunLSHHalo(ds, rho[:10], labels, 1, cfg); err == nil {
+	if _, err := RunLSHHalo(context.Background(), ds, rho[:10], labels, 1, cfg); err == nil {
 		t.Fatal("want error for short rho")
 	}
-	if _, err := RunLSHHalo(ds, rho, labels, 0, cfg); err == nil {
+	if _, err := RunLSHHalo(context.Background(), ds, rho, labels, 0, cfg); err == nil {
 		t.Fatal("want error for dc=0")
 	}
 	labels[3] = -1
-	if _, err := RunLSHHalo(ds, rho, labels, 1, cfg); err == nil {
+	if _, err := RunLSHHalo(context.Background(), ds, rho, labels, 1, cfg); err == nil {
 		t.Fatal("want error for negative label")
 	}
 }

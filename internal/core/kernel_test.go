@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestBasicDDPGaussianKernelMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunBasicDDP(ds, BasicConfig{
+	res, err := RunBasicDDP(context.Background(), ds, BasicConfig{
 		Config:    Config{Engine: testEngine(), Dc: dc, Kernel: dp.KernelGaussian},
 		BlockSize: 64,
 	})
@@ -39,7 +40,7 @@ func TestLSHDDPGaussianKernelUnderestimates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunLSHDDP(ds, LSHConfig{
+	res, err := RunLSHDDP(context.Background(), ds, LSHConfig{
 		Config:   Config{Engine: testEngine(), Dc: dc, Seed: 5, Kernel: dp.KernelGaussian},
 		Accuracy: 0.95, M: 5, Pi: 3,
 	})
@@ -73,7 +74,7 @@ func TestGaussianKernelProducesSmoothDensities(t *testing.T) {
 	// tie-break matters much less. Sanity-check both run and that
 	// densities are non-integral under Gaussian.
 	ds := dataset.Blobs("gauss-smooth", 200, 2, 2, 50, 2, 29)
-	res, err := RunLSHDDP(ds, LSHConfig{
+	res, err := RunLSHDDP(context.Background(), ds, LSHConfig{
 		Config:   Config{Engine: testEngine(), DcPercentile: 0.02, Seed: 1, Kernel: dp.KernelGaussian},
 		Accuracy: 0.95, M: 5, Pi: 3,
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/lsh"
 	"repro/internal/mapreduce"
+	"repro/internal/mapreduce/dag"
 	"repro/internal/points"
 )
 
@@ -60,20 +62,22 @@ func (c *LSHConfig) pi() int {
 	return 3
 }
 
-// RunLSHDDP executes the approximate LSH-DDP pipeline of Section IV:
+// RunLSHDDP executes the approximate LSH-DDP pipeline of Section IV as
+// one job DAG:
 //
-//	job 0  d_c sampling (unless cfg.Dc is set)
-//	       width solving: minimal w with 1−(1−P_ρ(w,d_c)^π)^M ≥ A
-//	job 1  LSH partition (M layouts) + local ρ̂ per partition
-//	job 2  ρ̂ aggregation: max over layouts (Theorem 1)
-//	job 3  LSH partition + local δ̂/upslope using aggregated ρ̂;
-//	       local absolute peaks get δ̂ = +∞ (Section IV-C)
-//	job 4  δ̂ aggregation: min over layouts (Theorem 2)
+//	node 0  d_c sampling (unless cfg.Dc is set)
+//	        width solving: minimal w with 1−(1−P_ρ(w,d_c)^π)^M ≥ A
+//	node 1  LSH partition (M layouts) + local ρ̂ per partition
+//	node 2  ρ̂ aggregation: max over layouts (Theorem 1)
+//	node 3  ρ̂-annotate transform (driver side)
+//	node 4  LSH partition + local δ̂/upslope using aggregated ρ̂;
+//	        local absolute peaks get δ̂ = +∞ (Section IV-C)
+//	node 5  δ̂ aggregation: min over layouts (Theorem 2)
 //
 // The returned Delta may contain +∞ for points that looked like the
 // absolute peak in every layout; Result.Cluster rectifies them to the max
 // finite δ before peak selection, as the paper prescribes.
-func RunLSHDDP(ds *points.Dataset, cfg LSHConfig) (*Result, error) {
+func RunLSHDDP(ctx context.Context, ds *points.Dataset, cfg LSHConfig) (*Result, error) {
 	start := time.Now()
 	if err := ds.Validate(); err != nil {
 		return nil, err
@@ -81,12 +85,13 @@ func RunLSHDDP(ds *points.Dataset, cfg LSHConfig) (*Result, error) {
 	if ds.N() < 2 {
 		return nil, fmt.Errorf("core: need at least 2 points, have %d", ds.N())
 	}
-	drv := mapreduce.NewDriver(cfg.engine())
-	drv.Log = cfg.Log
-	drv.Trace = cfg.Trace
-	input := InputPairs(ds)
+	sess := cfg.DagSession()
+	mark := MarkRunner(sess.Runner())
+	traceMark := len(sess.Traces())
+	dagBefore := sess.Counters()
+	input := sess.Stage("points", InputPairs(ds))
 
-	dc, err := ChooseDc(drv, ds, &cfg.Config, input)
+	dc, err := ChooseDc(ctx, sess, ds, &cfg.Config, input)
 	if err != nil {
 		return nil, err
 	}
@@ -110,31 +115,28 @@ func RunLSHDDP(ds *points.Dataset, cfg LSHConfig) (*Result, error) {
 	setKernelConf(conf, cfg.Kernel)
 	setParallelConf(conf, &cfg.Config)
 
-	// Jobs 1+2: approximate ρ̂.
-	partials, err := drv.Run(withReduces(LSHRhoJob(conf.Clone()), cfg.NumReduces), input)
-	if err != nil {
-		return nil, err
-	}
-	rhoOut, err := drv.Run(withReduces(LSHRhoAggJob(conf.Clone()), cfg.NumReduces), partials.Output)
-	if err != nil {
-		return nil, err
-	}
-	rho, err := DecodeRhoArray(rhoOut.Output, ds.N())
-	if err != nil {
-		return nil, err
-	}
+	g := dag.NewGraph("lsh-ddp")
+	partials := g.Job(LSHRhoJob(conf).WithReduces(cfg.NumReduces), input)
+	rhoOut := g.Job(LSHRhoAggJob(conf).WithReduces(cfg.NumReduces), partials)
+	rhoPts := g.Transform("lsh-rho-points", func(in ...[]mapreduce.Pair) ([]mapreduce.Pair, error) {
+		rho, err := DecodeRhoArray(in[0], ds.N())
+		if err != nil {
+			return nil, err
+		}
+		return RhoPointPairs(ds, rho), nil
+	}, rhoOut)
+	dPartials := g.Job(LSHDeltaJob(conf).WithReduces(cfg.NumReduces), rhoPts)
+	dOut := g.Job(DeltaAggJob(JobLSHDelAgg, mapreduce.Conf{}).WithReduces(cfg.NumReduces), dPartials)
 
-	// Jobs 3+4: approximate δ̂ with the aggregated ρ̂ attached to each point.
-	dIn := RhoPointPairs(ds, rho)
-	dPartials, err := drv.Run(withReduces(LSHDeltaJob(conf.Clone()), cfg.NumReduces), dIn)
+	outs, err := sess.Run(ctx, g, rhoOut, dOut)
 	if err != nil {
 		return nil, err
 	}
-	dOut, err := drv.Run(withReduces(DeltaAggJob(JobLSHDelAgg, mapreduce.Conf{}), cfg.NumReduces), dPartials.Output)
+	rho, err := DecodeRhoArray(outs[0], ds.N())
 	if err != nil {
 		return nil, err
 	}
-	delta, upslope, err := DecodeDeltaArrays(dOut.Output, ds.N())
+	delta, upslope, err := DecodeDeltaArrays(outs[1], ds.N())
 	if err != nil {
 		return nil, err
 	}
@@ -144,7 +146,8 @@ func RunLSHDDP(ds *points.Dataset, cfg LSHConfig) (*Result, error) {
 	res.Stats.W = w
 	res.Stats.Pi = cfg.pi()
 	res.Stats.M = cfg.m()
-	CollectStats(&res.Stats, drv, start)
+	CollectStats(&res.Stats, sess.Runner(), mark, start)
+	CollectDagStats(&res.Stats, sess, traceMark, dagBefore)
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestLSHDDPRhoNeverOvercounts(t *testing.T) {
 	dc := dp.CutoffByPercentile(ds, 0.02, 1)
 	ref := exactReference(t, ds, dc)
 
-	res, err := RunLSHDDP(ds, LSHConfig{
+	res, err := RunLSHDDP(context.Background(), ds, LSHConfig{
 		Config:   Config{Engine: testEngine(), Dc: dc, Seed: 9},
 		Accuracy: 0.9, M: 5, Pi: 3,
 	})
@@ -35,7 +36,7 @@ func TestLSHDDPDeltaNeverUndershoots(t *testing.T) {
 	dc := dp.CutoffByPercentile(ds, 0.02, 1)
 	ref := exactReference(t, ds, dc)
 
-	res, err := RunLSHDDP(ds, LSHConfig{
+	res, err := RunLSHDDP(context.Background(), ds, LSHConfig{
 		Config: Config{Engine: testEngine(), Dc: dc, Seed: 4},
 		M:      3, Pi: 2, W: 1e9,
 	})
@@ -60,7 +61,7 @@ func TestLSHDDPExactWithGiantWidth(t *testing.T) {
 	dc := dp.CutoffByPercentile(ds, 0.02, 1)
 	ref := exactReference(t, ds, dc)
 
-	res, err := RunLSHDDP(ds, LSHConfig{
+	res, err := RunLSHDDP(context.Background(), ds, LSHConfig{
 		Config: Config{Engine: testEngine(), Dc: dc, Seed: 8},
 		M:      2, Pi: 1, W: 1e12,
 	})
@@ -91,7 +92,7 @@ func TestLSHDDPHighAccuracyApproximation(t *testing.T) {
 	dc := dp.CutoffByPercentile(ds, 0.02, 1)
 	ref := exactReference(t, ds, dc)
 
-	res, err := RunLSHDDP(ds, LSHConfig{
+	res, err := RunLSHDDP(context.Background(), ds, LSHConfig{
 		Config:   Config{Engine: testEngine(), Dc: dc, Seed: 2},
 		Accuracy: 0.99, M: 10, Pi: 3,
 	})
@@ -128,11 +129,11 @@ func TestLSHDDPDeterministicAcrossRuns(t *testing.T) {
 		Config:   Config{Engine: testEngine(), DcPercentile: 0.02, Seed: 77},
 		Accuracy: 0.95, M: 6, Pi: 3,
 	}
-	a, err := RunLSHDDP(ds, cfg)
+	a, err := RunLSHDDP(context.Background(), ds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunLSHDDP(ds, cfg)
+	b, err := RunLSHDDP(context.Background(), ds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,14 +154,14 @@ func TestLSHDDPShuffleCheaperThanBasic(t *testing.T) {
 	// Block size 50 gives n=40 blocks, so Basic-DDP shuffles each point
 	// ~20 times per job vs LSH-DDP's M=10; at the paper's scale (N=500k,
 	// block 500 ⇒ n=1000) the gap is far larger.
-	basic, err := RunBasicDDP(ds, BasicConfig{
+	basic, err := RunBasicDDP(context.Background(), ds, BasicConfig{
 		Config:    Config{Engine: testEngine(), Dc: dc},
 		BlockSize: 50,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	lshRes, err := RunLSHDDP(ds, LSHConfig{
+	lshRes, err := RunLSHDDP(context.Background(), ds, LSHConfig{
 		Config:   Config{Engine: testEngine(), Dc: dc, Seed: 3},
 		Accuracy: 0.99, M: 10, Pi: 3,
 	})
@@ -180,11 +181,11 @@ func TestLSHDDPShuffleCheaperThanBasic(t *testing.T) {
 func TestLSHDDPClusterAgreesWithBasic(t *testing.T) {
 	ds := dataset.Blobs("lsh-vs-basic-quality", 800, 2, 4, 150, 3, 41)
 	dc := dp.CutoffByPercentile(ds, 0.02, 1)
-	basic, err := RunBasicDDP(ds, BasicConfig{Config: Config{Engine: testEngine(), Dc: dc}})
+	basic, err := RunBasicDDP(context.Background(), ds, BasicConfig{Config: Config{Engine: testEngine(), Dc: dc}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	lshRes, err := RunLSHDDP(ds, LSHConfig{
+	lshRes, err := RunLSHDDP(context.Background(), ds, LSHConfig{
 		Config:   Config{Engine: testEngine(), Dc: dc, Seed: 6},
 		Accuracy: 0.99, M: 10, Pi: 3,
 	})
@@ -219,7 +220,7 @@ func TestLSHDDPInfiniteDeltaRectified(t *testing.T) {
 	// different partitions and become local absolute peaks with δ̂ = ∞;
 	// Cluster() must rectify those before selection.
 	ds := dataset.Blobs("lsh-inf", 600, 2, 6, 300, 2, 51)
-	res, err := RunLSHDDP(ds, LSHConfig{
+	res, err := RunLSHDDP(context.Background(), ds, LSHConfig{
 		Config:   Config{Engine: testEngine(), DcPercentile: 0.02, Seed: 12},
 		Accuracy: 0.9, M: 5, Pi: 4,
 	})

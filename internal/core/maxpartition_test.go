@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dataset"
@@ -35,14 +36,14 @@ func TestChunks(t *testing.T) {
 func TestMaxPartitionCapsWork(t *testing.T) {
 	ds := dataset.Blobs("cap", 2000, 4, 2, 40, 6, 13) // two big overlapping clusters
 	dc := dp.CutoffByPercentile(ds, 0.02, 1)
-	uncapped, err := RunLSHDDP(ds, LSHConfig{
+	uncapped, err := RunLSHDDP(context.Background(), ds, LSHConfig{
 		Config:   Config{Engine: testEngine(), Dc: dc, Seed: 3},
 		Accuracy: 0.99, M: 8, Pi: 3,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	capped, err := RunLSHDDP(ds, LSHConfig{
+	capped, err := RunLSHDDP(context.Background(), ds, LSHConfig{
 		Config:   Config{Engine: testEngine(), Dc: dc, Seed: 3},
 		Accuracy: 0.99, M: 8, Pi: 3,
 		MaxPartition: 600,
@@ -89,7 +90,7 @@ func TestMaxPartitionDeltaStillValid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	capped, err := RunLSHDDP(ds, LSHConfig{
+	capped, err := RunLSHDDP(context.Background(), ds, LSHConfig{
 		Config:       Config{Engine: testEngine(), Dc: dc, Seed: 9},
 		M:            4,
 		Pi:           2,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestLSHDDPParallelPathMatchesSerial(t *testing.T) {
 			},
 			M: 4, Pi: 2, W: 10,
 		}
-		res, err := RunLSHDDP(ds, cfg)
+		res, err := RunLSHDDP(context.Background(), ds, cfg)
 		if err != nil {
 			t.Fatalf("threshold=%d: %v", threshold, err)
 		}
@@ -76,7 +77,7 @@ func TestBasicDDPParallelPathExact(t *testing.T) {
 	dc := dp.CutoffByPercentile(ds, 0.02, 1)
 	ref := exactReference(t, ds, dc)
 
-	res, err := RunBasicDDP(ds, BasicConfig{
+	res, err := RunBasicDDP(context.Background(), ds, BasicConfig{
 		Config: Config{
 			Engine: testEngine(), Dc: dc,
 			ParallelThreshold: 100, ParallelWorkers: 3,
@@ -98,7 +99,7 @@ func TestBasicDDPParallelPathExact(t *testing.T) {
 		}
 	}
 
-	gauss, err := RunBasicDDP(ds, BasicConfig{
+	gauss, err := RunBasicDDP(context.Background(), ds, BasicConfig{
 		Config: Config{
 			Engine: testEngine(), Dc: dc, Kernel: dp.KernelGaussian,
 			ParallelThreshold: 100, ParallelWorkers: 3,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -40,7 +41,7 @@ func TestLSHDDPStructuralProperties(t *testing.T) {
 		// change the hash functions and break the layout-prefix property
 		// that monotonicity (3) relies on.
 		run := func(mm int) (*Result, error) {
-			return RunLSHDDP(ds, LSHConfig{
+			return RunLSHDDP(context.Background(), ds, LSHConfig{
 				Config: Config{Engine: testEngine(), Dc: dc, Seed: seed},
 				M:      mm, Pi: pi, W: dc * 6,
 			})
@@ -88,7 +89,7 @@ func TestDcSampleWithinRange(t *testing.T) {
 			vs[i] = points.Vector{rng.Float64() * 9, rng.NormFloat64()}
 		}
 		ds := points.FromVectors("dc-prop", vs)
-		res, err := RunBasicDDP(ds, BasicConfig{
+		res, err := RunBasicDDP(context.Background(), ds, BasicConfig{
 			Config: Config{Engine: testEngine(), DcPercentile: 0.02, Seed: seed},
 		})
 		if err != nil {

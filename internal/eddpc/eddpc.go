@@ -21,6 +21,7 @@
 package eddpc
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/binary"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernels"
 	"repro/internal/mapreduce"
+	"repro/internal/mapreduce/dag"
 	"repro/internal/points"
 )
 
@@ -78,8 +80,11 @@ func parallelFromConf(conf mapreduce.Conf) kernels.Parallel {
 	}
 }
 
-// Run executes the EDDPC pipeline and returns exact DP results.
-func Run(ds *points.Dataset, cfg Config) (*core.Result, error) {
+// Run executes the EDDPC pipeline as one job DAG and returns exact DP
+// results. The δ-local and refinement branches feed the final aggregation
+// as two inputs of one node (concatenated in declaration order), exactly
+// like the hand-sequenced pipeline appended their outputs.
+func Run(ctx context.Context, ds *points.Dataset, cfg Config) (*core.Result, error) {
 	start := time.Now()
 	if err := ds.Validate(); err != nil {
 		return nil, err
@@ -87,16 +92,13 @@ func Run(ds *points.Dataset, cfg Config) (*core.Result, error) {
 	if ds.N() < 2 {
 		return nil, fmt.Errorf("eddpc: need at least 2 points, have %d", ds.N())
 	}
-	eng := cfg.Engine
-	if eng == nil {
-		eng = &mapreduce.LocalEngine{}
-	}
-	drv := mapreduce.NewDriver(eng)
-	drv.Log = cfg.Log
-	drv.Trace = cfg.Trace
-	input := core.InputPairs(ds)
+	sess := cfg.DagSession()
+	mark := core.MarkRunner(sess.Runner())
+	traceMark := len(sess.Traces())
+	dagBefore := sess.Counters()
+	input := sess.Stage("points", core.InputPairs(ds))
 
-	dc, err := core.ChooseDc(drv, ds, &cfg.Config, input)
+	dc, err := core.ChooseDc(ctx, sess, ds, &cfg.Config, input)
 	if err != nil {
 		return nil, err
 	}
@@ -108,46 +110,49 @@ func Run(ds *points.Dataset, cfg Config) (*core.Result, error) {
 	conf.SetInt(confParThreshold, cfg.ParallelThreshold)
 	conf.SetInt(confParWorkers, cfg.ParallelWorkers)
 
-	// Job 1: exact ρ via boundary replication. No aggregation needed: each
-	// point's home cell sees every d_c-neighbour.
-	rhoOut, err := drv.Run(withReduces(RhoJob(conf.Clone()), cfg.NumReduces), input)
-	if err != nil {
-		return nil, err
-	}
-	rho, err := core.DecodeRhoArray(rhoOut.Output, ds.N())
-	if err != nil {
-		return nil, err
-	}
+	g := dag.NewGraph("eddpc")
+	// Node 1: exact ρ via boundary replication. No aggregation needed:
+	// each point's home cell sees every d_c-neighbour.
+	rhoOut := g.Job(RhoJob(conf).WithReduces(cfg.NumReduces), input)
+	rhoPts := g.Transform("eddpc-rho-points", func(in ...[]mapreduce.Pair) ([]mapreduce.Pair, error) {
+		rho, err := core.DecodeRhoArray(in[0], ds.N())
+		if err != nil {
+			return nil, err
+		}
+		return core.RhoPointPairs(ds, rho), nil
+	}, rhoOut)
+	// Node 2: local δ upper bounds inside home cells.
+	locOut := g.Job(DeltaLocalJob(conf).WithReduces(cfg.NumReduces), rhoPts)
+	// Node 3: refinement — each point visits only cells that could hold a
+	// closer denser point, bounded by its local δ_ub.
+	refQueries := g.Transform("eddpc-refine-queries", func(in ...[]mapreduce.Pair) ([]mapreduce.Pair, error) {
+		rho, err := core.DecodeRhoArray(in[0], ds.N())
+		if err != nil {
+			return nil, err
+		}
+		ub, ubUp, err := core.DecodeDeltaArrays(in[1], ds.N())
+		if err != nil {
+			return nil, err
+		}
+		refIn := make([]mapreduce.Pair, ds.N())
+		for i, p := range ds.Points {
+			refIn[i] = mapreduce.Pair{Value: encodeQuery(points.RhoPoint{Point: p, Rho: rho[i]}, ub[i], ubUp[i])}
+		}
+		return refIn, nil
+	}, rhoOut, locOut)
+	refOut := g.Job(DeltaRefineJob(conf).WithReduces(cfg.NumReduces), refQueries)
+	// Node 4: aggregate local bounds and refinement candidates.
+	aggOut := g.Job(core.DeltaAggJob(JobDeltaAgg, mapreduce.Conf{}).WithReduces(cfg.NumReduces), locOut, refOut)
 
-	// Job 2: local δ upper bounds inside home cells.
-	dIn := core.RhoPointPairs(ds, rho)
-	locOut, err := drv.Run(withReduces(DeltaLocalJob(conf.Clone()), cfg.NumReduces), dIn)
+	outs, err := sess.Run(ctx, g, rhoOut, aggOut)
 	if err != nil {
 		return nil, err
 	}
-	ub, ubUp, err := core.DecodeDeltaArrays(locOut.Output, ds.N())
+	rho, err := core.DecodeRhoArray(outs[0], ds.N())
 	if err != nil {
 		return nil, err
 	}
-
-	// Job 3: refinement — each point visits only cells that could hold a
-	// closer denser point.
-	refIn := make([]mapreduce.Pair, ds.N())
-	for i, p := range ds.Points {
-		refIn[i] = mapreduce.Pair{Value: encodeQuery(points.RhoPoint{Point: p, Rho: rho[i]}, ub[i], ubUp[i])}
-	}
-	refOut, err := drv.Run(withReduces(DeltaRefineJob(conf.Clone()), cfg.NumReduces), refIn)
-	if err != nil {
-		return nil, err
-	}
-
-	// Job 4: aggregate local bounds and refinement candidates.
-	aggIn := append(append([]mapreduce.Pair(nil), locOut.Output...), refOut.Output...)
-	aggOut, err := drv.Run(withReduces(core.DeltaAggJob(JobDeltaAgg, mapreduce.Conf{}), cfg.NumReduces), aggIn)
-	if err != nil {
-		return nil, err
-	}
-	delta, upslope, err := core.DecodeDeltaArrays(aggOut.Output, ds.N())
+	delta, upslope, err := core.DecodeDeltaArrays(outs[1], ds.N())
 	if err != nil {
 		return nil, err
 	}
@@ -161,14 +166,10 @@ func Run(ds *points.Dataset, cfg Config) (*core.Result, error) {
 
 	res := &core.Result{Rho: rho, Delta: delta, Upslope: upslope}
 	res.Stats.Dc = dc
-	core.CollectStats(&res.Stats, drv, start)
+	core.CollectStats(&res.Stats, sess.Runner(), mark, start)
+	core.CollectDagStats(&res.Stats, sess, traceMark, dagBefore)
 	res.Stats.DistanceComputations += peakDists
 	return res, nil
-}
-
-func withReduces(j *mapreduce.Job, n int) *mapreduce.Job {
-	j.NumReduces = n
-	return j
 }
 
 // samplePivots draws p distinct points as Voronoi pivots.

@@ -1,6 +1,7 @@
 package eddpc
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestEDDPCMatchesSequentialDP(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := Run(tc.ds, Config{
+			res, err := Run(context.Background(), tc.ds, Config{
 				Config: core.Config{Engine: testEngine(), Dc: dc, Seed: 3},
 				Pivots: tc.pivots,
 			})
@@ -52,14 +53,14 @@ func TestEDDPCMatchesSequentialDP(t *testing.T) {
 func TestEDDPCFewerDistancesThanBasic(t *testing.T) {
 	ds := dataset.Blobs("eddpc-cost", 3000, 4, 6, 200, 3, 19)
 	dc := dp.CutoffByPercentile(ds, 0.02, 1)
-	basic, err := core.RunBasicDDP(ds, core.BasicConfig{
+	basic, err := core.RunBasicDDP(context.Background(), ds, core.BasicConfig{
 		Config:    core.Config{Engine: testEngine(), Dc: dc},
 		BlockSize: 300,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ed, err := Run(ds, Config{
+	ed, err := Run(context.Background(), ds, Config{
 		Config: core.Config{Engine: testEngine(), Dc: dc, Seed: 3},
 	})
 	if err != nil {
@@ -78,11 +79,11 @@ func TestEDDPCFewerDistancesThanBasic(t *testing.T) {
 func TestEDDPCDeterministic(t *testing.T) {
 	ds := dataset.Blobs("eddpc-det", 400, 3, 3, 80, 3, 29)
 	cfg := Config{Config: core.Config{Engine: testEngine(), DcPercentile: 0.02, Seed: 5}}
-	a, err := Run(ds, cfg)
+	a, err := Run(context.Background(), ds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(ds, cfg)
+	b, err := Run(context.Background(), ds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package eddpc_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -21,7 +22,7 @@ func ExampleRun() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := eddpc.Run(ds, eddpc.Config{
+	res, err := eddpc.Run(context.Background(), ds, eddpc.Config{
 		Config: core.Config{Engine: &mapreduce.LocalEngine{Parallelism: 2}, Dc: dc, Seed: 2},
 		Pivots: 10,
 	})

@@ -342,4 +342,3 @@ func resolveAbsolutePeak(ds *points.Dataset, rho, delta []float64, upslope []int
 }
 
 func idKey(id int32) string { return fmt.Sprintf("%09d", id) }
-

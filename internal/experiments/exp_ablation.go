@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -82,7 +83,7 @@ func ablateAggregation(opt *Options, r *Report) error {
 		cfg.M = m
 		cfg.W = w
 		cfg.AggregateMean = mean
-		res, err := core.RunLSHDDP(ds, cfg)
+		res, err := core.RunLSHDDP(context.Background(), ds, cfg)
 		if err != nil {
 			return 0, err
 		}
@@ -122,7 +123,7 @@ func ablateRectify(opt *Options, r *Report) error {
 	cfg.Accuracy = 0.9
 	cfg.M = 5
 	cfg.Pi = 4
-	res, err := core.RunLSHDDP(ds, cfg)
+	res, err := core.RunLSHDDP(context.Background(), ds, cfg)
 	if err != nil {
 		return err
 	}
@@ -185,7 +186,7 @@ func ablateCombiner(opt *Options, r *Report) error {
 	eng := opt.engine()
 
 	run := func(withCombiner bool) (int64, error) {
-		res, err := kmeansmr.Run(ds, kmeansmr.Config{
+		res, err := kmeansmr.Run(context.Background(), ds, kmeansmr.Config{
 			Engine: &combinerStripper{Engine: eng, strip: !withCombiner},
 			K:      8, MaxIter: 1, Seed: opt.Seed,
 		})
@@ -217,13 +218,13 @@ type combinerStripper struct {
 	strip  bool
 }
 
-func (c *combinerStripper) Run(job *mapreduce.Job, input []mapreduce.Pair) (*mapreduce.Result, error) {
+func (c *combinerStripper) Run(ctx context.Context, job *mapreduce.Job, input []mapreduce.Pair) (*mapreduce.Result, error) {
 	if c.strip {
 		stripped := *job
 		stripped.Combine = nil
-		return c.Engine.Run(&stripped, input)
+		return c.Engine.Run(ctx, &stripped, input)
 	}
-	return c.Engine.Run(job, input)
+	return c.Engine.Run(ctx, job, input)
 }
 
 // naiveRhoJob is Section III-A's straw man: every point is shuffled to
@@ -290,14 +291,14 @@ func ablateBlocking(opt *Options, r *Report) error {
 	eng := opt.engine()
 	dc := dp.CutoffByPercentile(ds, 0.02, opt.Seed)
 
-	naive, err := eng.Run(naiveRhoJob(dc, ds.N()), core.InputPairs(ds))
+	naive, err := eng.Run(context.Background(), naiveRhoJob(dc, ds.N()), core.InputPairs(ds))
 	if err != nil {
 		return err
 	}
 	conf := mapreduce.Conf{}
 	conf.SetFloat("ddp.dc", dc)
 	conf.SetInt("ddp.basic.blocks", (ds.N()+99)/100)
-	blocked, err := eng.Run(core.BasicRhoJob(conf), core.InputPairs(ds))
+	blocked, err := eng.Run(context.Background(), core.BasicRhoJob(conf), core.InputPairs(ds))
 	if err != nil {
 		return err
 	}
@@ -327,11 +328,11 @@ func ablateSpill(opt *Options, r *Report) error {
 	conf.SetFloat("ddp.lsh.w", dc*8)
 	conf.SetInt64("ddp.seed", opt.Seed)
 
-	memRes, err := memEng.Run(core.LSHRhoJob(conf.Clone()), core.InputPairs(ds))
+	memRes, err := memEng.Run(context.Background(), core.LSHRhoJob(conf.Clone()), core.InputPairs(ds))
 	if err != nil {
 		return err
 	}
-	spillRes, err := spillEng.Run(core.LSHRhoJob(conf.Clone()), core.InputPairs(ds))
+	spillRes, err := spillEng.Run(context.Background(), core.LSHRhoJob(conf.Clone()), core.InputPairs(ds))
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -23,7 +24,7 @@ func ExpEC2(opt Options) (*Report, error) {
 	eng := opt.engine()
 
 	opt.logf("ec2: N=%d running LSH-DDP at full scale...", ds.N())
-	lshRes, err := core.RunLSHDDP(ds, opt.lshConfig(eng))
+	lshRes, err := core.RunLSHDDP(context.Background(), ds, opt.lshConfig(eng))
 	if err != nil {
 		return nil, err
 	}
@@ -31,7 +32,7 @@ func ExpEC2(opt Options) (*Report, error) {
 	// Basic-DDP on a 1/8 subsample of the same data.
 	sub := subsample(ds, 8)
 	opt.logf("ec2: running Basic-DDP on subsample N=%d...", sub.N())
-	basic, err := core.RunBasicDDP(sub, opt.basicConfig(eng))
+	basic, err := core.RunBasicDDP(context.Background(), sub, opt.basicConfig(eng))
 	if err != nil {
 		return nil, err
 	}

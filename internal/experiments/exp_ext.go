@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -56,7 +57,7 @@ func extGaussianKernel(opt *Options, r *Report) error {
 	cfg := opt.lshConfig(eng)
 	cfg.Dc = dc
 	cfg.Kernel = dp.KernelGaussian
-	res, err := core.RunLSHDDP(ds, cfg)
+	res, err := core.RunLSHDDP(context.Background(), ds, cfg)
 	if err != nil {
 		return err
 	}
@@ -76,7 +77,7 @@ func extHalo(opt *Options, r *Report) error {
 	}
 	eng := opt.engine()
 	cfg := opt.lshConfig(eng)
-	res, err := core.RunLSHDDP(ds, cfg)
+	res, err := core.RunLSHDDP(context.Background(), ds, cfg)
 	if err != nil {
 		return err
 	}
@@ -85,7 +86,7 @@ func extHalo(opt *Options, r *Report) error {
 		return err
 	}
 	haloCfg := opt.lshConfig(eng)
-	hr, err := core.RunLSHHalo(ds, res.Rho, labels, res.Stats.Dc, haloCfg)
+	hr, err := core.RunLSHHalo(context.Background(), ds, res.Rho, labels, res.Stats.Dc, haloCfg)
 	if err != nil {
 		return err
 	}
@@ -120,7 +121,7 @@ func extSuggestK(opt *Options, r *Report) error {
 			return err
 		}
 		eng := opt.engine()
-		res, err := core.RunLSHDDP(ds, opt.lshConfig(eng))
+		res, err := core.RunLSHDDP(context.Background(), ds, opt.lshConfig(eng))
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -27,12 +28,12 @@ func ExpFig10(opt Options) (*Report, error) {
 		}
 		eng := opt.engine()
 		opt.logf("fig10: %s N=%d running Basic-DDP...", name, ds.N())
-		basic, err := core.RunBasicDDP(ds, opt.basicConfig(eng))
+		basic, err := core.RunBasicDDP(context.Background(), ds, opt.basicConfig(eng))
 		if err != nil {
 			return nil, err
 		}
 		opt.logf("fig10: %s running LSH-DDP...", name)
-		lshRes, err := core.RunLSHDDP(ds, opt.lshConfig(eng))
+		lshRes, err := core.RunLSHDDP(context.Background(), ds, opt.lshConfig(eng))
 		if err != nil {
 			return nil, err
 		}

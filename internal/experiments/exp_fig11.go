@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,7 +21,7 @@ func ExpFig11(opt Options) (*Report, error) {
 	eng := opt.engine()
 
 	opt.logf("fig11: N=%d running LSH-DDP...", ds.N())
-	lshRes, err := core.RunLSHDDP(ds, opt.lshConfig(eng))
+	lshRes, err := core.RunLSHDDP(context.Background(), ds, opt.lshConfig(eng))
 	if err != nil {
 		return nil, err
 	}
@@ -30,7 +31,7 @@ func ExpFig11(opt Options) (*Report, error) {
 		iters = 30 // benchmarks truncate the iteration sweep
 	}
 	opt.logf("fig11: running distributed K-means for %d iterations...", iters)
-	km, err := kmeansmr.Run(ds, kmeansmr.Config{
+	km, err := kmeansmr.Run(context.Background(), ds, kmeansmr.Config{
 		Engine:  eng,
 		K:       16,
 		MaxIter: iters,

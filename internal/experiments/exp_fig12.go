@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -45,7 +46,7 @@ func ExpFig12(opt Options) (*Report, error) {
 			cfg.Dc = dc
 			cfg.M = m
 			cfg.Pi = pi
-			res, err := core.RunLSHDDP(ds, cfg)
+			res, err := core.RunLSHDDP(context.Background(), ds, cfg)
 			if err != nil {
 				return nil, err
 			}

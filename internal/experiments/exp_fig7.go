@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -23,11 +24,11 @@ func ExpFig7(opt Options) (*Report, error) {
 	}
 	eng := opt.engine()
 
-	basic, err := core.RunBasicDDP(ds, opt.basicConfig(eng))
+	basic, err := core.RunBasicDDP(context.Background(), ds, opt.basicConfig(eng))
 	if err != nil {
 		return nil, err
 	}
-	lshRes, err := core.RunLSHDDP(ds, opt.lshConfig(eng))
+	lshRes, err := core.RunLSHDDP(context.Background(), ds, opt.lshConfig(eng))
 	if err != nil {
 		return nil, err
 	}

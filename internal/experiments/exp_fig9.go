@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -35,7 +36,7 @@ func ExpFig9(opt Options) (*Report, error) {
 		cfg := opt.lshConfig(eng)
 		cfg.Accuracy = accuracy
 		cfg.Dc = dc
-		res, err := core.RunLSHDDP(ds, cfg)
+		res, err := core.RunLSHDDP(context.Background(), ds, cfg)
 		if err != nil {
 			return nil, err
 		}

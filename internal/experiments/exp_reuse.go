@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -35,7 +36,7 @@ func ablateDistanceReuse(opt *Options, r *Report) error {
 	dc := dp.CutoffByPercentile(ds, 0.02, opt.Seed)
 
 	// Paper's choice: recompute. Run standard Basic-DDP.
-	recompute, err := core.RunBasicDDP(ds, core.BasicConfig{
+	recompute, err := core.RunBasicDDP(context.Background(), ds, core.BasicConfig{
 		Config:    core.Config{Engine: eng, Dc: dc},
 		BlockSize: 300,
 	})
@@ -48,7 +49,7 @@ func ablateDistanceReuse(opt *Options, r *Report) error {
 	drv := mapreduce.NewDriver(eng)
 	nBlocks := (ds.N() + 299) / 300
 	matJob := rhoAndMatrixJob(dc, nBlocks)
-	matOut, err := drv.Run(matJob, core.InputPairs(ds))
+	matOut, err := drv.Run(context.Background(), matJob, core.InputPairs(ds))
 	if err != nil {
 		return err
 	}
@@ -61,7 +62,7 @@ func ablateDistanceReuse(opt *Options, r *Report) error {
 			distRecords = append(distRecords, p)
 		}
 	}
-	rhoOut, err := drv.Run(core.RhoAggJob("reuse-rho-agg", mapreduce.Conf{}), rhoPartials)
+	rhoOut, err := drv.Run(context.Background(), core.RhoAggJob("reuse-rho-agg", mapreduce.Conf{}), rhoPartials)
 	if err != nil {
 		return err
 	}
@@ -78,11 +79,11 @@ func ablateDistanceReuse(opt *Options, r *Report) error {
 		}
 		dIn[i] = mapreduce.Pair{Value: encodeDistRecordRho(rec, rho[rec.i], rho[rec.j])}
 	}
-	dPartials, err := drv.Run(deltaFromMatrixJob(), dIn)
+	dPartials, err := drv.Run(context.Background(), deltaFromMatrixJob(), dIn)
 	if err != nil {
 		return err
 	}
-	dOut, err := drv.Run(core.DeltaAggJob("reuse-delta-agg", mapreduce.Conf{}), dPartials.Output)
+	dOut, err := drv.Run(context.Background(), core.DeltaAggJob("reuse-delta-agg", mapreduce.Conf{}), dPartials.Output)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -23,19 +24,19 @@ func ExpTable4(opt Options) (*Report, error) {
 	eng := opt.engine()
 
 	opt.logf("table4: N=%d running Basic-DDP...", ds.N())
-	basic, err := core.RunBasicDDP(ds, opt.basicConfig(eng))
+	basic, err := core.RunBasicDDP(context.Background(), ds, opt.basicConfig(eng))
 	if err != nil {
 		return nil, err
 	}
 	opt.logf("table4: running EDDPC...")
-	ed, err := eddpc.Run(ds, eddpc.Config{
+	ed, err := eddpc.Run(context.Background(), ds, eddpc.Config{
 		Config: core.Config{Engine: eng, Seed: opt.Seed, DcPercentile: 0.02},
 	})
 	if err != nil {
 		return nil, err
 	}
 	opt.logf("table4: running LSH-DDP...")
-	lshRes, err := core.RunLSHDDP(ds, opt.lshConfig(eng))
+	lshRes, err := core.RunLSHDDP(context.Background(), ds, opt.lshConfig(eng))
 	if err != nil {
 		return nil, err
 	}

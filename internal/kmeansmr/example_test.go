@@ -1,6 +1,7 @@
 package kmeansmr_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -11,7 +12,7 @@ import (
 // One distributed K-means run with early stopping.
 func ExampleRun() {
 	ds := dataset.Blobs("km", 300, 2, 3, 400, 2, 5)
-	res, err := kmeansmr.Run(ds, kmeansmr.Config{
+	res, err := kmeansmr.Run(context.Background(), ds, kmeansmr.Config{
 		Engine:  &mapreduce.LocalEngine{Parallelism: 2},
 		K:       3,
 		MaxIter: 50,

@@ -9,6 +9,7 @@
 package kmeansmr
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/binary"
 	"fmt"
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mapreduce"
+	"repro/internal/mapreduce/dag"
 	"repro/internal/points"
 )
 
@@ -67,11 +69,19 @@ type Result struct {
 	// ShuffleBytes and Distances are totals across iterations.
 	ShuffleBytes int64
 	Distances    int64
+	// Dag holds the run's dag.* scheduler counters. In particular
+	// dag.stage.bytes records the input volume staged ONCE for the whole
+	// run — the regression signal that iterations no longer re-stage the
+	// dataset each round.
+	Dag map[string]int64
 }
 
-// Run executes distributed K-means. Labels are computed from the final
-// centroids in a last pass (counted in Distances but not as an iteration).
-func Run(ds *points.Dataset, cfg Config) (*Result, error) {
+// Run executes distributed K-means. The input is staged on the DAG
+// session once and every Lloyd iteration is scheduled as a one-node graph
+// over the same staged dataset — 100 iterations stage the points one
+// time, not 100 times. Labels are computed from the final centroids in a
+// last pass (counted in Distances but not as an iteration).
+func Run(ctx context.Context, ds *points.Dataset, cfg Config) (*Result, error) {
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
@@ -86,7 +96,9 @@ func Run(ds *points.Dataset, cfg Config) (*Result, error) {
 	if eng == nil {
 		eng = &mapreduce.LocalEngine{}
 	}
-	input := core.InputPairs(ds)
+	drv := mapreduce.NewDriver(eng)
+	sess := dag.NewSession(drv, dag.Options{Log: cfg.Log})
+	input := sess.Stage("kmeans-points", core.InputPairs(ds))
 	centers := initialCenters(ds, cfg.K, cfg.Seed)
 	res := &Result{}
 
@@ -94,13 +106,13 @@ func Run(ds *points.Dataset, cfg Config) (*Result, error) {
 		conf := mapreduce.Conf{}
 		conf.SetInt(confK, cfg.K)
 		conf[confCentroids] = encodeCentroids(centers)
-		job := IterateJob(conf)
-		job.NumReduces = cfg.NumReduces
-		out, err := eng.Run(job, input)
+		g := dag.NewGraph(fmt.Sprintf("kmeans-iter-%03d", it+1))
+		node := g.Job(IterateJob(conf).WithReduces(cfg.NumReduces), input)
+		outs, err := sess.Run(ctx, g, node)
 		if err != nil {
 			return nil, fmt.Errorf("kmeansmr: iteration %d: %w", it, err)
 		}
-		next, err := decodeNewCentroids(out.Output, centers)
+		next, err := decodeNewCentroids(outs[0], centers)
 		if err != nil {
 			return nil, err
 		}
@@ -111,24 +123,27 @@ func Run(ds *points.Dataset, cfg Config) (*Result, error) {
 			}
 		}
 		centers = next
+		jobs := drv.Jobs()
+		jst := jobs[len(jobs)-1]
 		st := IterStats{
 			Iteration:    it + 1,
-			Wall:         out.Wall,
-			ShuffleBytes: out.Counters.Get(mapreduce.CtrShuffleBytes),
-			Distances:    out.Counters.Get(mapreduce.CtrDistanceComputations),
+			Wall:         jst.Wall,
+			ShuffleBytes: jst.Counters[mapreduce.CtrShuffleBytes],
+			Distances:    jst.Counters[mapreduce.CtrDistanceComputations],
 			MaxMove:      maxMove,
 		}
 		res.Iterations = append(res.Iterations, st)
-		res.Wall += out.Wall
+		res.Wall += st.Wall
 		res.ShuffleBytes += st.ShuffleBytes
 		res.Distances += st.Distances
 		if cfg.Log != nil {
-			cfg.Log("kmeans iter %3d  %8.3fs  maxMove=%.6g", st.Iteration, out.Wall.Seconds(), maxMove)
+			cfg.Log("kmeans iter %3d  %8.3fs  maxMove=%.6g", st.Iteration, st.Wall.Seconds(), maxMove)
 		}
 		if cfg.Tol > 0 && maxMove <= cfg.Tol {
 			break
 		}
 	}
+	res.Dag = sess.Counters()
 
 	res.Centers = centers
 	res.Labels = make([]int, ds.N())

@@ -1,12 +1,15 @@
 package kmeansmr
 
 import (
+	"context"
 	"math"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/evalmetrics"
 	"repro/internal/mapreduce"
+	"repro/internal/mapreduce/dag"
 	"repro/internal/points"
 )
 
@@ -14,7 +17,7 @@ func testEngine() mapreduce.Engine { return &mapreduce.LocalEngine{Parallelism: 
 
 func TestRecoversSeparatedClusters(t *testing.T) {
 	ds := dataset.Blobs("kmr", 600, 2, 4, 500, 2, 3)
-	res, err := Run(ds, Config{Engine: testEngine(), K: 4, MaxIter: 30, Tol: 1e-9, Seed: 1})
+	res, err := Run(context.Background(), ds, Config{Engine: testEngine(), K: 4, MaxIter: 30, Tol: 1e-9, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +38,7 @@ func TestRecoversSeparatedClusters(t *testing.T) {
 
 func TestEarlyStopOnTolerance(t *testing.T) {
 	ds := dataset.Blobs("kmr-tol", 300, 2, 3, 500, 1, 5)
-	res, err := Run(ds, Config{Engine: testEngine(), K: 3, MaxIter: 100, Tol: 1e-6, Seed: 1})
+	res, err := Run(context.Background(), ds, Config{Engine: testEngine(), K: 3, MaxIter: 100, Tol: 1e-6, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +53,7 @@ func TestEarlyStopOnTolerance(t *testing.T) {
 
 func TestFixedIterationsWithoutTol(t *testing.T) {
 	ds := dataset.Blobs("kmr-fixed", 200, 2, 2, 100, 2, 7)
-	res, err := Run(ds, Config{Engine: testEngine(), K: 2, MaxIter: 7, Seed: 1})
+	res, err := Run(context.Background(), ds, Config{Engine: testEngine(), K: 2, MaxIter: 7, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +99,7 @@ func TestMatchesSequentialLloydFromSameInit(t *testing.T) {
 	}
 
 	// Distributed: 5 iterations with the same seed (hence same init).
-	res, err := Run(ds, Config{Engine: testEngine(), K: k, MaxIter: 5, Seed: 42})
+	res, err := Run(context.Background(), ds, Config{Engine: testEngine(), K: k, MaxIter: 5, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,11 +118,11 @@ func TestCombinerBoundsShuffle(t *testing.T) {
 	// independent of N.
 	small := dataset.Blobs("kmr-small", 200, 4, 3, 100, 2, 13)
 	big := dataset.Blobs("kmr-big", 2000, 4, 3, 100, 2, 13)
-	resSmall, err := Run(small, Config{Engine: testEngine(), K: 3, MaxIter: 1, Seed: 1})
+	resSmall, err := Run(context.Background(), small, Config{Engine: testEngine(), K: 3, MaxIter: 1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resBig, err := Run(big, Config{Engine: testEngine(), K: 3, MaxIter: 1, Seed: 1})
+	resBig, err := Run(context.Background(), big, Config{Engine: testEngine(), K: 3, MaxIter: 1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,10 +134,10 @@ func TestCombinerBoundsShuffle(t *testing.T) {
 
 func TestValidation(t *testing.T) {
 	ds := dataset.Blobs("kmr-bad", 50, 2, 2, 100, 2, 1)
-	if _, err := Run(ds, Config{Engine: testEngine(), K: 0}); err == nil {
+	if _, err := Run(context.Background(), ds, Config{Engine: testEngine(), K: 0}); err == nil {
 		t.Fatal("want error for k=0")
 	}
-	if _, err := Run(ds, Config{Engine: testEngine(), K: 51}); err == nil {
+	if _, err := Run(context.Background(), ds, Config{Engine: testEngine(), K: 51}); err == nil {
 		t.Fatal("want error for k>N")
 	}
 }
@@ -161,5 +164,31 @@ func TestPartialCodec(t *testing.T) {
 	}
 	if _, _, err := decodePartial([]byte{1, 2}); err == nil {
 		t.Fatal("want short-partial error")
+	}
+}
+
+// TestStagesInputOnceAcrossIterations is the regression guard for the
+// old behavior of re-encoding and re-staging the full dataset on every
+// Lloyd iteration: the run's dag counters must show exactly one staged
+// dataset whose byte volume equals one encoding of the input, however
+// many iterations execute.
+func TestStagesInputOnceAcrossIterations(t *testing.T) {
+	ds := dataset.Blobs("kmr-stage", 400, 3, 3, 200, 2, 9)
+	res, err := Run(context.Background(), ds, Config{Engine: testEngine(), K: 3, MaxIter: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 6 {
+		t.Fatalf("ran %d iterations, want 6", len(res.Iterations))
+	}
+	if n := res.Dag[dag.CtrStageDatasets]; n != 1 {
+		t.Fatalf("staged %d datasets across 6 iterations, want 1", n)
+	}
+	once := mapreduce.PairsBytes(core.InputPairs(ds))
+	if b := res.Dag[dag.CtrStageBytes]; b != once {
+		t.Fatalf("staged %d bytes, want exactly one input encoding (%d)", b, once)
+	}
+	if n := res.Dag[dag.CtrNodes]; n != 6 {
+		t.Fatalf("scheduler executed %d job nodes, want 6", n)
 	}
 }

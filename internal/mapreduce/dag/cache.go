@@ -1,0 +1,162 @@
+package dag
+
+import (
+	"container/list"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/mapreduce"
+)
+
+// cache is the session's byte-bounded node-result store, keyed by node
+// fingerprint. Entries are LRU-evicted once the in-memory footprint
+// exceeds capBytes; with a spill directory configured, evicted entries are
+// written as gob files and transparently reloaded on the next hit (a
+// "local spill dir"-backed dataset), otherwise they are dropped.
+type cache struct {
+	mu       sync.Mutex
+	capBytes int64
+	spillDir string
+
+	curBytes int64
+	entries  map[string]*cacheEntry
+	lru      *list.List // front = most recently used; in-memory entries only
+}
+
+type cacheEntry struct {
+	fp     string
+	pairs  []mapreduce.Pair // nil when spilled to disk
+	bytes  int64
+	elem   *list.Element // nil when spilled
+	onDisk bool
+}
+
+func newCache(capBytes int64, spillDir string) *cache {
+	if capBytes <= 0 {
+		return nil
+	}
+	return &cache{
+		capBytes: capBytes,
+		spillDir: spillDir,
+		entries:  make(map[string]*cacheEntry),
+		lru:      list.New(),
+	}
+}
+
+// get returns the cached pairs for fp, reloading from spill if needed.
+// evicted reports how many entries were pushed out making room for a
+// reloaded one.
+func (c *cache) get(fp string) (ps []mapreduce.Pair, ok bool, evicted int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, found := c.entries[fp]
+	if !found {
+		return nil, false, 0
+	}
+	if e.onDisk {
+		pairs, err := readSpill(c.spillPath(fp))
+		if err != nil {
+			// A damaged spill file degrades to a miss; the node re-runs.
+			delete(c.entries, fp)
+			os.Remove(c.spillPath(fp))
+			return nil, false, 0
+		}
+		e.pairs = pairs
+		e.onDisk = false
+		c.curBytes += e.bytes
+		e.elem = c.lru.PushFront(e)
+		os.Remove(c.spillPath(fp))
+		return e.pairs, true, c.evictLocked(e)
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.pairs, true, 0
+}
+
+// put stores a node result and returns how many entries were evicted to
+// make room. Oversized results (bigger than the whole cache) are not
+// stored at all.
+func (c *cache) put(fp string, ps []mapreduce.Pair) (evicted int64) {
+	bytes := mapreduce.PairsBytes(ps)
+	if bytes > c.capBytes {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[fp]; exists {
+		return 0
+	}
+	e := &cacheEntry{fp: fp, pairs: ps, bytes: bytes}
+	e.elem = c.lru.PushFront(e)
+	c.entries[fp] = e
+	c.curBytes += bytes
+	return c.evictLocked(e)
+}
+
+// evictLocked evicts LRU entries (never keep) until the footprint fits.
+func (c *cache) evictLocked(keep *cacheEntry) (evicted int64) {
+	for c.curBytes > c.capBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		if e == keep {
+			// Only the protected entry remains; nothing else to shed.
+			break
+		}
+		c.lru.Remove(back)
+		c.curBytes -= e.bytes
+		evicted++
+		if c.spillDir != "" {
+			if err := writeSpill(c.spillPath(e.fp), e.pairs); err == nil {
+				e.pairs = nil
+				e.elem = nil
+				e.onDisk = true
+				continue
+			}
+		}
+		delete(c.entries, e.fp)
+	}
+	return evicted
+}
+
+func (c *cache) spillPath(fp string) string {
+	return filepath.Join(c.spillDir, fp+".ds")
+}
+
+func writeSpill(path string, ps []mapreduce.Pair) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(ps); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readSpill(path string) ([]mapreduce.Pair, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var ps []mapreduce.Pair
+	if err := gob.NewDecoder(f).Decode(&ps); err != nil {
+		return nil, fmt.Errorf("dag: corrupt spill %s: %w", path, err)
+	}
+	return ps, nil
+}

@@ -1,7 +1,9 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -27,7 +29,8 @@ type Runner interface {
 // stage's input, the way a Hadoop driver program strings jobs together on
 // the master node. It accumulates per-job and total statistics, which the
 // experiment harness reads to report the paper's runtime / shuffle-bytes /
-// distance-count metrics.
+// distance-count metrics. It is safe for concurrent Run calls: the DAG
+// scheduler overlaps independent jobs on one driver.
 type Driver struct {
 	Engine Engine
 	// Log, when non-nil, receives one line per completed job.
@@ -37,6 +40,7 @@ type Driver struct {
 	// into one JSONL file.
 	Trace *obs.Trace
 
+	mu     sync.Mutex
 	jobs   []JobStats
 	traces []obs.JobTrace
 	total  Counters
@@ -57,13 +61,44 @@ func NewDriver(engine Engine) *Driver {
 	return &Driver{Engine: engine, total: *NewCounters()}
 }
 
+// MaxConcurrentJobs reports how many jobs the underlying engine accepts at
+// once: the engine's own answer when it declares one, otherwise 1 — the
+// safe default for engines (like the rpcmr master) that serialize jobs.
+func (d *Driver) MaxConcurrentJobs() int {
+	if jc, ok := d.Engine.(JobConcurrency); ok {
+		if n := jc.MaxConcurrentJobs(); n > 0 {
+			return n
+		}
+	}
+	return 1
+}
+
 // Run executes one job and records its stats and trace.
-func (d *Driver) Run(job *Job, input []Pair) (*Result, error) {
-	res, err := d.Engine.Run(job, input)
+func (d *Driver) Run(ctx context.Context, job *Job, input []Pair) (*Result, error) {
+	res, err := d.Engine.Run(ctx, job, input)
+	return d.record(job, res, err)
+}
+
+// RunDFS runs a job whose input is staged in the mini-DFS, forwarding to
+// the underlying engine's DFS capability (rpcmr.Master) and recording
+// stats and trace exactly like Run. Engines without DFS support error.
+func (d *Driver) RunDFS(ctx context.Context, job *Job, nameNodeAddr, inputPrefix string) (*Result, error) {
+	dr, ok := d.Engine.(DFSRunner)
+	if !ok {
+		return nil, fmt.Errorf("mapreduce: job %q: engine %T cannot read DFS input", job.Name, d.Engine)
+	}
+	res, err := dr.RunDFS(ctx, job, nameNodeAddr, inputPrefix)
+	return d.record(job, res, err)
+}
+
+// record folds one engine result into the driver's stats and traces.
+func (d *Driver) record(job *Job, res *Result, err error) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
 	}
 	snap := res.Counters.Snapshot()
+
+	d.mu.Lock()
 	d.jobs = append(d.jobs, JobStats{
 		Name:     job.Name,
 		Wall:     res.Wall,
@@ -87,6 +122,8 @@ func (d *Driver) Run(job *Job, input []Pair) (*Result, error) {
 		}
 	}
 	d.traces = append(d.traces, *trace)
+	d.mu.Unlock()
+
 	if d.Trace != nil {
 		d.Trace.Add(*trace)
 	}
@@ -99,16 +136,30 @@ func (d *Driver) Run(job *Job, input []Pair) (*Result, error) {
 }
 
 // Jobs returns stats for every executed job, in execution order.
-func (d *Driver) Jobs() []JobStats { return d.jobs }
+func (d *Driver) Jobs() []JobStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]JobStats(nil), d.jobs...)
+}
 
 // Traces returns the trace of every executed job, in execution order.
-func (d *Driver) Traces() []obs.JobTrace { return d.traces }
+func (d *Driver) Traces() []obs.JobTrace {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]obs.JobTrace(nil), d.traces...)
+}
 
 // TotalCounter returns the sum of the named counter over all executed jobs.
-func (d *Driver) TotalCounter(name string) int64 { return d.total.Get(name) }
+func (d *Driver) TotalCounter(name string) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.total.Get(name)
+}
 
 // TotalWall returns the summed wall time of all executed jobs.
 func (d *Driver) TotalWall() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	var t time.Duration
 	for _, j := range d.jobs {
 		t += j.Wall

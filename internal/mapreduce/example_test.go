@@ -1,6 +1,7 @@
 package mapreduce_test
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -35,7 +36,7 @@ func ExampleLocalEngine_Run() {
 		NumReduces: 1, // single partition => globally sorted output
 	}
 	eng := &mapreduce.LocalEngine{Parallelism: 2}
-	res, err := eng.Run(job, []mapreduce.Pair{
+	res, err := eng.Run(context.Background(), job, []mapreduce.Pair{
 		{Value: []byte("to be or not")},
 		{Value: []byte("to be")},
 	})

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -22,10 +23,33 @@ type Result struct {
 }
 
 // Engine executes MapReduce jobs. Implementations: LocalEngine (in-process,
-// multicore) and rpcmr.Master (distributed over net/rpc).
+// multicore) and rpcmr.Master (distributed over net/rpc). Run honors ctx:
+// cancellation stops dispatching new tasks and fails the job with ctx.Err(),
+// so a SIGINT-wired context tears a pipeline down gracefully instead of
+// killing the process mid-shuffle.
 type Engine interface {
-	Run(job *Job, input []Pair) (*Result, error)
+	Run(ctx context.Context, job *Job, input []Pair) (*Result, error)
 }
+
+// JobConcurrency is an optional Engine capability: how many jobs the engine
+// can execute at the same time. The DAG scheduler consults it before
+// overlapping independent nodes — the local engine multiplexes goroutine
+// pools freely, while the rpcmr master runs one job at a time.
+type JobConcurrency interface {
+	MaxConcurrentJobs() int
+}
+
+// DFSRunner is an optional Engine capability: run a job whose input is
+// staged in the mini-DFS under a part-file prefix, without the driver ever
+// touching the input bytes. rpcmr.Master implements it; the DAG scheduler
+// uses it for DFS-backed source datasets.
+type DFSRunner interface {
+	RunDFS(ctx context.Context, job *Job, nameNodeAddr, inputPrefix string) (*Result, error)
+}
+
+// MaxConcurrentJobs reports the local engine's job concurrency: jobs share
+// one process, so overlap is bounded only by cores.
+func (e *LocalEngine) MaxConcurrentJobs() int { return e.parallelism() }
 
 // LocalEngine runs jobs in-process with worker goroutines. It is the
 // default substrate for experiments: it exercises the full dataflow
@@ -226,11 +250,18 @@ func (t *taskEmitter) taskSpans(start time.Time, wall time.Duration, inRecords i
 
 // Run executes the job on input and returns its output pairs, counters,
 // and trace. Output order is deterministic: reduce partitions in index
-// order, keys in sorted order within each partition.
-func (e *LocalEngine) Run(job *Job, input []Pair) (*Result, error) {
+// order, keys in sorted order within each partition. Cancelling ctx stops
+// dispatching new tasks; in-flight tasks drain and Run returns ctx.Err().
+func (e *LocalEngine) Run(ctx context.Context, job *Job, input []Pair) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	if err := job.validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
 	}
 	workers := e.parallelism()
 	nMaps := job.NumMaps
@@ -264,7 +295,7 @@ func (e *LocalEngine) Run(job *Job, input []Pair) (*Result, error) {
 	splits := splitInput(input, nMaps)
 	taskOuts := make([]*mapTaskOutput, len(splits))
 	mapSpans := make([][]obs.Span, len(splits))
-	err := runParallel(len(splits), workers, func(ti int) error {
+	err := runParallelCtx(ctx, len(splits), workers, func(ti int) error {
 		taskStart := time.Now()
 		ctx := &TaskContext{
 			JobName:    job.Name,
@@ -326,7 +357,7 @@ func (e *LocalEngine) Run(job *Job, input []Pair) (*Result, error) {
 	// ---- Reduce phase ----
 	reduceOuts := make([][]Pair, nReduce)
 	reduceSpans := make([]obs.Span, nReduce)
-	err = runParallel(nReduce, workers, func(r int) error {
+	err = runParallelCtx(ctx, nReduce, workers, func(r int) error {
 		taskStart := time.Now()
 		ctx := &TaskContext{
 			JobName:    job.Name,
@@ -413,11 +444,22 @@ func splitInput(input []Pair, n int) [][]Pair {
 // so a failing job returns after the in-flight tasks drain instead of
 // grinding through the remaining queue.
 func runParallel(n, workers int, fn func(i int) error) error {
+	return runParallelCtx(context.Background(), n, workers, fn)
+}
+
+// runParallelCtx is runParallel with cooperative cancellation: a cancelled
+// ctx stops dispatch like a task failure does, and ctx.Err() wins over task
+// errors so callers see the cancellation rather than a secondary failure.
+func runParallelCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	done := ctx.Done()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -454,10 +496,15 @@ dispatch:
 		case next <- i:
 		case <-failed:
 			break dispatch
+		case <-done:
+			break dispatch
 		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return firstErr
 }
 

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -53,7 +54,7 @@ func outputMap(ps []Pair) map[string]string {
 
 func TestWordcount(t *testing.T) {
 	eng := &LocalEngine{Parallelism: 4}
-	res, err := eng.Run(wordcount(), lines("a b a", "b c", "a"))
+	res, err := eng.Run(context.Background(), wordcount(), lines("a b a", "b c", "a"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestWordcount(t *testing.T) {
 
 func TestCountersAccounting(t *testing.T) {
 	eng := &LocalEngine{Parallelism: 2}
-	res, err := eng.Run(wordcount(), lines("x x x x", "y y"))
+	res, err := eng.Run(context.Background(), wordcount(), lines("x x x x", "y y"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,13 +104,13 @@ func TestCombinerReducesShuffle(t *testing.T) {
 	input := lines("w w w w w w w w", "w w w w")
 	with := wordcount()
 	eng := &LocalEngine{Parallelism: 2}
-	resWith, err := eng.Run(with, input)
+	resWith, err := eng.Run(context.Background(), with, input)
 	if err != nil {
 		t.Fatal(err)
 	}
 	without := wordcount()
 	without.Combine = nil
-	resWithout, err := eng.Run(without, input)
+	resWithout, err := eng.Run(context.Background(), without, input)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestMapOnlyJob(t *testing.T) {
 		},
 	}
 	eng := &LocalEngine{Parallelism: 3}
-	res, err := eng.Run(job, lines("a", "b", "c"))
+	res, err := eng.Run(context.Background(), job, lines("a", "b", "c"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestMapErrorPropagates(t *testing.T) {
 		Reduce: sumReduce,
 	}
 	eng := &LocalEngine{Parallelism: 2}
-	_, err := eng.Run(job, lines("ok", "bad", "ok"))
+	_, err := eng.Run(context.Background(), job, lines("ok", "bad", "ok"))
 	if err == nil || !strings.Contains(err.Error(), "poisoned record") {
 		t.Fatalf("want poisoned record error, got %v", err)
 	}
@@ -171,7 +172,7 @@ func TestReduceErrorPropagates(t *testing.T) {
 		return nil
 	}
 	eng := &LocalEngine{}
-	_, err := eng.Run(job, lines("a b c"))
+	_, err := eng.Run(context.Background(), job, lines("a b c"))
 	if err == nil || !strings.Contains(err.Error(), "reduce exploded") {
 		t.Fatalf("want reduce error, got %v", err)
 	}
@@ -179,13 +180,13 @@ func TestReduceErrorPropagates(t *testing.T) {
 
 func TestJobValidation(t *testing.T) {
 	eng := &LocalEngine{}
-	if _, err := eng.Run(&Job{Name: "no-map"}, nil); err == nil {
+	if _, err := eng.Run(context.Background(), &Job{Name: "no-map"}, nil); err == nil {
 		t.Fatal("want error for missing map")
 	}
-	if _, err := eng.Run(&Job{Map: wordcount().Map}, nil); err == nil {
+	if _, err := eng.Run(context.Background(), &Job{Map: wordcount().Map}, nil); err == nil {
 		t.Fatal("want error for missing name")
 	}
-	if _, err := eng.Run(&Job{
+	if _, err := eng.Run(context.Background(), &Job{
 		Name:    "combine-no-reduce",
 		Map:     wordcount().Map,
 		Combine: sumReduce,
@@ -196,7 +197,7 @@ func TestJobValidation(t *testing.T) {
 
 func TestEmptyInput(t *testing.T) {
 	eng := &LocalEngine{}
-	res, err := eng.Run(wordcount(), nil)
+	res, err := eng.Run(context.Background(), wordcount(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,12 +209,12 @@ func TestEmptyInput(t *testing.T) {
 func TestDeterministicOutputOrder(t *testing.T) {
 	input := lines("z a m", "b z q", "a a z")
 	eng := &LocalEngine{Parallelism: 4}
-	first, err := eng.Run(wordcount(), input)
+	first, err := eng.Run(context.Background(), wordcount(), input)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		res, err := eng.Run(wordcount(), input)
+		res, err := eng.Run(context.Background(), wordcount(), input)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -236,7 +237,7 @@ func TestCustomPartitioner(t *testing.T) {
 	job.Partition = func(string, int) int { return 0 }
 	job.NumReduces = 4
 	eng := &LocalEngine{Parallelism: 4}
-	res, err := eng.Run(job, lines("k k k"))
+	res, err := eng.Run(context.Background(), job, lines("k k k"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestEngineMatchesSequentialFold(t *testing.T) {
 		job := wordcount()
 		job.NumReduces = int(reduces%8) + 1
 		eng := &LocalEngine{Parallelism: int(parallelism%8) + 1}
-		res, err := eng.Run(job, input)
+		res, err := eng.Run(context.Background(), job, input)
 		if err != nil {
 			return false
 		}

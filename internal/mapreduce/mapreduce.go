@@ -89,6 +89,15 @@ type Job struct {
 	Conf Conf
 }
 
+// WithReduces sets the reduce-partition count and returns the job, so
+// pipeline code reads `BasicRhoJob(conf).WithReduces(n)` instead of
+// threading a helper through every package. It mutates and returns j —
+// job factories return fresh values, so chaining is safe.
+func (j *Job) WithReduces(n int) *Job {
+	j.NumReduces = n
+	return j
+}
+
 func (j *Job) validate() error {
 	if j.Name == "" {
 		return fmt.Errorf("mapreduce: job has no name")

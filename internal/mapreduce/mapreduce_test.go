@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -106,7 +107,7 @@ func TestCountersMergeAndSnapshot(t *testing.T) {
 func TestDriverPipelines(t *testing.T) {
 	eng := &LocalEngine{Parallelism: 2}
 	drv := NewDriver(eng)
-	res1, err := drv.Run(wordcount(), lines("a a b"))
+	res1, err := drv.Run(context.Background(), wordcount(), lines("a a b"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestDriverPipelines(t *testing.T) {
 		},
 		Reduce: sumReduce,
 	}
-	res2, err := drv.Run(doubler, res1.Output)
+	res2, err := drv.Run(context.Background(), doubler, res1.Output)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestDriverPipelines(t *testing.T) {
 
 func TestDriverPropagatesError(t *testing.T) {
 	drv := NewDriver(&LocalEngine{})
-	_, err := drv.Run(&Job{Name: "bad"}, nil)
+	_, err := drv.Run(context.Background(), &Job{Name: "bad"}, nil)
 	if err == nil || !strings.Contains(err.Error(), "bad") {
 		t.Fatalf("want named job error, got %v", err)
 	}
@@ -173,7 +174,7 @@ func TestExecuteTaskParityWithEngine(t *testing.T) {
 	// engine defaults NumReduces to its parallelism).
 	nReduce := 2
 
-	engineRes, err := (&LocalEngine{Parallelism: 2}).Run(wordcount(), input)
+	engineRes, err := (&LocalEngine{Parallelism: 2}).Run(context.Background(), wordcount(), input)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package rpcmr
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -117,7 +118,7 @@ func TestChaosDataNodeDeathMidJob(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	healthy, err := m.RunDFS(lshJob(), nn.Addr(), "chaos/in")
+	healthy, err := m.RunDFS(context.Background(), lshJob(), nn.Addr(), "chaos/in")
 	if err != nil {
 		t.Fatalf("healthy run: %v", err)
 	}
@@ -130,7 +131,7 @@ func TestChaosDataNodeDeathMidJob(t *testing.T) {
 	dns[0].SetHooks(dfs.BlockHooks{BeforeRead: func(id int64) error { trig(); return nil }})
 	defer dns[0].SetHooks(dfs.BlockHooks{})
 
-	faulty, err := m.RunDFS(lshJob(), nn.Addr(), "chaos/in")
+	faulty, err := m.RunDFS(context.Background(), lshJob(), nn.Addr(), "chaos/in")
 	if err != nil {
 		t.Fatalf("run with datanode killed mid-job: %v", err)
 	}
@@ -157,7 +158,7 @@ func TestChaosCorruptBlockMidJob(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	healthy, err := m.RunDFS(lshJob(), nn.Addr(), "rot/in")
+	healthy, err := m.RunDFS(context.Background(), lshJob(), nn.Addr(), "rot/in")
 	if err != nil {
 		t.Fatalf("healthy run: %v", err)
 	}
@@ -182,7 +183,7 @@ func TestChaosCorruptBlockMidJob(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	faulty, err := m.RunDFS(lshJob(), nn.Addr(), "rot/in")
+	faulty, err := m.RunDFS(context.Background(), lshJob(), nn.Addr(), "rot/in")
 	if err != nil {
 		t.Fatalf("run with corrupt block: %v", err)
 	}

@@ -1,6 +1,7 @@
 package rpcmr
 
 import (
+	"context"
 	"reflect"
 	"sort"
 	"strings"
@@ -70,7 +71,7 @@ func TestRunnerConformance(t *testing.T) {
 
 	for _, rc := range runners {
 		t.Run(rc.name, func(t *testing.T) {
-			res, err := rc.runner.Run(makeJob(), input)
+			res, err := rc.runner.Run(context.Background(), makeJob(), input)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -207,7 +208,7 @@ func TestConformanceParallelKernels(t *testing.T) {
 	}
 	results := make(map[string]observed)
 	for _, rc := range runners {
-		res, err := rc.runner.Run(makeJob(), input)
+		res, err := rc.runner.Run(context.Background(), makeJob(), input)
 		if err != nil {
 			t.Fatalf("%s: %v", rc.name, err)
 		}

@@ -1,6 +1,7 @@
 package rpcmr
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dfs"
@@ -42,11 +43,11 @@ func TestRunDFSMatchesInlineInput(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	inline, err := m.Run(wordcountJob(nil), input)
+	inline, err := m.Run(context.Background(), wordcountJob(nil), input)
 	if err != nil {
 		t.Fatal(err)
 	}
-	staged, err := m.RunDFS(wordcountJob(nil), nn.Addr(), "jobs/in")
+	staged, err := m.RunDFS(context.Background(), wordcountJob(nil), nn.Addr(), "jobs/in")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestRunDFSMapTaskPerPart(t *testing.T) {
 	if err := dfsio.SavePairs(fsc, "parts/in", input, 7); err != nil {
 		t.Fatal(err)
 	}
-	res, err := m.RunDFS(wordcountJob(nil), nn.Addr(), "parts/in")
+	res, err := m.RunDFS(context.Background(), wordcountJob(nil), nn.Addr(), "parts/in")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestRunDFSMapTaskPerPart(t *testing.T) {
 func TestRunDFSMissingPrefix(t *testing.T) {
 	m, _ := startCluster(t, 1)
 	nn, _ := startDFS(t, 1)
-	if _, err := m.RunDFS(wordcountJob(nil), nn.Addr(), "no/such/input"); err == nil {
+	if _, err := m.RunDFS(context.Background(), wordcountJob(nil), nn.Addr(), "no/such/input"); err == nil {
 		t.Fatal("want error for missing DFS input")
 	}
 }

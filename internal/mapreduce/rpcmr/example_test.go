@@ -1,6 +1,7 @@
 package rpcmr_test
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -51,7 +52,7 @@ func Example() {
 		defer w.Close()
 	}
 
-	res, err := master.Run(exampleWordcount(nil), []mapreduce.Pair{
+	res, err := master.Run(context.Background(), exampleWordcount(nil), []mapreduce.Pair{
 		{Value: []byte("go distributed go")},
 	})
 	if err != nil {

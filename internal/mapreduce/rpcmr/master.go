@@ -1,6 +1,7 @@
 package rpcmr
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -203,17 +204,41 @@ func (m *Master) logf(format string, args ...any) {
 	m.sink().Event("scheduler", format, args...)
 }
 
+// MaxConcurrentJobs reports the master's job concurrency: one. The master
+// serializes jobs (concurrent Run calls fail with "a job is already
+// running"), so the DAG scheduler runs nodes one at a time against it.
+func (m *Master) MaxConcurrentJobs() int { return 1 }
+
+// Abort fails the currently running job (if any) with the given reason and
+// wakes its Run call. Idle masters ignore it. Unlike Close, the master
+// stays alive: workers keep polling and the next Run is accepted — the
+// graceful-SIGINT path for `mrd master`.
+func (m *Master) Abort(reason error) {
+	if reason == nil {
+		reason = fmt.Errorf("rpcmr: job aborted")
+	}
+	m.mu.Lock()
+	if run := m.cur; run != nil && !run.done {
+		run.err = fmt.Errorf("rpcmr: job %q aborted: %w", run.job.Name, reason)
+		run.done = true
+		m.cond.Broadcast()
+	}
+	m.mu.Unlock()
+}
+
 // Run implements mapreduce.Engine: it schedules the job across the
 // registered workers and blocks until completion. The job's name must be
-// registered (with an identical factory) on every worker.
-func (m *Master) Run(job *mapreduce.Job, input []mapreduce.Pair) (*mapreduce.Result, error) {
-	return m.run(job, input, "", nil)
+// registered (with an identical factory) on every worker. Cancelling ctx
+// aborts the job: outstanding task attempts finish on their workers but
+// their completions are discarded as stale.
+func (m *Master) Run(ctx context.Context, job *mapreduce.Job, input []mapreduce.Pair) (*mapreduce.Result, error) {
+	return m.run(ctx, job, input, "", nil)
 }
 
 // RunDFS runs a job whose input is staged in the mini-DFS under
 // inputPrefix (one map task per part file). Workers read their parts from
 // the DFS directly — the master never touches the input bytes.
-func (m *Master) RunDFS(job *mapreduce.Job, nameNodeAddr, inputPrefix string) (*mapreduce.Result, error) {
+func (m *Master) RunDFS(ctx context.Context, job *mapreduce.Job, nameNodeAddr, inputPrefix string) (*mapreduce.Result, error) {
 	fsc, err := dfs.NewClient(nameNodeAddr)
 	if err != nil {
 		return nil, err
@@ -223,10 +248,16 @@ func (m *Master) RunDFS(job *mapreduce.Job, nameNodeAddr, inputPrefix string) (*
 	if err != nil {
 		return nil, err
 	}
-	return m.run(job, nil, nameNodeAddr, parts)
+	return m.run(ctx, job, nil, nameNodeAddr, parts)
 }
 
-func (m *Master) run(job *mapreduce.Job, input []mapreduce.Pair, dfsNameNode string, dfsParts []string) (*mapreduce.Result, error) {
+func (m *Master) run(ctx context.Context, job *mapreduce.Job, input []mapreduce.Pair, dfsNameNode string, dfsParts []string) (*mapreduce.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("rpcmr: job %q: %w", job.Name, err)
+	}
 	start := time.Now()
 	m.mu.Lock()
 	if m.closed {
@@ -277,10 +308,31 @@ func (m *Master) run(job *mapreduce.Job, input []mapreduce.Pair, dfsNameNode str
 	if m.MonitorInterval > 0 && (m.Events != nil || m.Log != nil) {
 		mon = obs.StartMonitor(job.Name, m.MonitorInterval, run.counters.Snapshot, m.sink())
 	}
+	// Cancellation watcher: ctx.Done fails this run and wakes the wait
+	// loop below; workers' in-flight attempts complete but are dropped as
+	// stale once m.cur moves on.
+	watchDone := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				m.mu.Lock()
+				if !run.done {
+					run.err = fmt.Errorf("rpcmr: job %q: %w", run.job.Name, ctx.Err())
+					run.done = true
+					m.cond.Broadcast()
+				}
+				m.mu.Unlock()
+			case <-watchDone:
+			}
+		}()
+	}
 	for !run.done && !m.closed {
 		m.cond.Wait()
 	}
+	close(watchDone)
 	err := run.err
+	finished := run.done
 	m.cur = nil
 	closed := m.closed
 	workers := make([]string, 0, len(m.workers))
@@ -292,7 +344,7 @@ func (m *Master) run(job *mapreduce.Job, input []mapreduce.Pair, dfsNameNode str
 		mon.Stop()
 	}
 
-	if closed && err == nil && !run.done {
+	if closed && err == nil && !finished {
 		return nil, fmt.Errorf("rpcmr: master closed mid-job")
 	}
 	// Best-effort cleanup of intermediate data on all workers.

@@ -1,6 +1,7 @@
 package rpcmr
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -43,7 +44,7 @@ func TestLeaseExpiryReassignsTask(t *testing.T) {
 		t.Fatal(err)
 	}
 	job = factory(nil)
-	res, err := m.Run(job, input)
+	res, err := m.Run(context.Background(), job, input)
 	if err != nil {
 		t.Fatalf("job with stalled attempt: %v", err)
 	}
@@ -70,7 +71,7 @@ func TestDuplicateCompletionCountersNotDoubled(t *testing.T) {
 		input[i] = mapreduce.Pair{Value: []byte(fmt.Sprintf("k%d", i%5))}
 	}
 	factory, _ := lookupJob("slow-once")
-	res, err := m.Run(factory(nil), input)
+	res, err := m.Run(context.Background(), factory(nil), input)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestRegisterJobsSkipsDuplicates(t *testing.T) {
 func TestWorkerCleanupDropsIntermediateData(t *testing.T) {
 	m, ws := startCluster(t, 2)
 	input := []mapreduce.Pair{{Value: []byte("x y z")}, {Value: []byte("x")}}
-	if _, err := m.Run(wordcountJob(nil), input); err != nil {
+	if _, err := m.Run(context.Background(), wordcountJob(nil), input); err != nil {
 		t.Fatal(err)
 	}
 	// After Run returns, the master has issued Cleanup; the stores should
@@ -129,7 +130,7 @@ func TestSequentialJobsReuseCluster(t *testing.T) {
 	m, _ := startCluster(t, 2)
 	for i := 0; i < 5; i++ {
 		input := []mapreduce.Pair{{Value: []byte(fmt.Sprintf("run%d common", i))}}
-		res, err := m.Run(wordcountJob(nil), input)
+		res, err := m.Run(context.Background(), wordcountJob(nil), input)
 		if err != nil {
 			t.Fatalf("run %d: %v", i, err)
 		}
@@ -165,7 +166,7 @@ func TestConcurrentRunRejected(t *testing.T) {
 	factory, _ := lookupJob("block-until")
 	done := make(chan error, 1)
 	go func() {
-		_, err := m.Run(factory(nil), []mapreduce.Pair{{Value: []byte("x")}})
+		_, err := m.Run(context.Background(), factory(nil), []mapreduce.Pair{{Value: []byte("x")}})
 		done <- err
 	}()
 	// Wait until the first job is installed, then try a second.
@@ -182,7 +183,7 @@ func TestConcurrentRunRejected(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if _, err := m.Run(wordcountJob(nil), nil); err == nil || !strings.Contains(err.Error(), "already running") {
+	if _, err := m.Run(context.Background(), wordcountJob(nil), nil); err == nil || !strings.Contains(err.Error(), "already running") {
 		t.Fatalf("second concurrent run: %v", err)
 	}
 	close(block)
@@ -229,7 +230,7 @@ func TestSpeculativeExecutionBeatsStraggler(t *testing.T) {
 	built.NumMaps = 21 // one record per map task
 
 	start := time.Now()
-	res, err := m.Run(built, input)
+	res, err := m.Run(context.Background(), built, input)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,15 +264,15 @@ func TestSpeculationDisabledByDefault(t *testing.T) {
 
 func TestMasterHistory(t *testing.T) {
 	m, _ := startCluster(t, 2)
-	if _, err := m.Run(wordcountJob(nil), []mapreduce.Pair{{Value: []byte("a b")}}); err != nil {
+	if _, err := m.Run(context.Background(), wordcountJob(nil), []mapreduce.Pair{{Value: []byte("a b")}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Run(wordcountJob(nil), []mapreduce.Pair{{Value: []byte("c")}}); err != nil {
+	if _, err := m.Run(context.Background(), wordcountJob(nil), []mapreduce.Pair{{Value: []byte("c")}}); err != nil {
 		t.Fatal(err)
 	}
 	// A failed job is recorded too.
 	factory, _ := lookupJob("fail-always")
-	if _, err := m.Run(factory(nil), []mapreduce.Pair{{Value: []byte("x")}}); err == nil {
+	if _, err := m.Run(context.Background(), factory(nil), []mapreduce.Pair{{Value: []byte("x")}}); err == nil {
 		t.Fatal("want failure")
 	}
 	h := m.History()

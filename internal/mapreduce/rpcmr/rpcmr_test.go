@@ -1,6 +1,7 @@
 package rpcmr
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -94,7 +95,7 @@ func TestClusterWordcount(t *testing.T) {
 		{Value: []byte("the lazy dog")},
 		{Value: []byte("the fox")},
 	}
-	res, err := m.Run(wordcountJob(nil), input)
+	res, err := m.Run(context.Background(), wordcountJob(nil), input)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,12 +129,12 @@ func TestClusterMatchesLocalEngine(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		input = append(input, mapreduce.Pair{Value: []byte(fmt.Sprintf("w%d w%d", i%7, i%13))})
 	}
-	distRes, err := m.Run(wordcountJob(nil), input)
+	distRes, err := m.Run(context.Background(), wordcountJob(nil), input)
 	if err != nil {
 		t.Fatal(err)
 	}
 	local := &mapreduce.LocalEngine{Parallelism: 2}
-	locRes, err := local.Run(wordcountJob(nil), input)
+	locRes, err := local.Run(context.Background(), wordcountJob(nil), input)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestClusterMatchesLocalEngine(t *testing.T) {
 
 func TestClusterTaskErrorFailsJob(t *testing.T) {
 	m, _ := startCluster(t, 2)
-	_, err := m.Run(&mapreduce.Job{Name: "fail-always", Map: func(_ *mapreduce.TaskContext, _ string, _ []byte, _ mapreduce.Emitter) error { return nil }, Reduce: sumReduce},
+	_, err := m.Run(context.Background(), &mapreduce.Job{Name: "fail-always", Map: func(_ *mapreduce.TaskContext, _ string, _ []byte, _ mapreduce.Emitter) error { return nil }, Reduce: sumReduce},
 		[]mapreduce.Pair{{Value: []byte("x")}})
 	if err == nil || !strings.Contains(err.Error(), "injected map failure") {
 		t.Fatalf("want injected failure error, got %v", err)
@@ -175,12 +176,12 @@ func TestClusterWorkerFailureRecovery(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		input = append(input, mapreduce.Pair{Value: []byte(fmt.Sprintf("a%d b%d c%d", i%5, i%11, i%17))})
 	}
-	if _, err := m.Run(wordcountJob(nil), input); err != nil {
+	if _, err := m.Run(context.Background(), wordcountJob(nil), input); err != nil {
 		t.Fatal(err)
 	}
 	ws[0].Close()
 
-	res, err := m.Run(wordcountJob(nil), input)
+	res, err := m.Run(context.Background(), wordcountJob(nil), input)
 	if err != nil {
 		t.Fatalf("job after worker death: %v", err)
 	}
@@ -197,14 +198,14 @@ func TestClusterRunsLSHDDP(t *testing.T) {
 	ds := dataset.Blobs("rpc-lsh", 600, 3, 4, 100, 3, 15)
 	dc := dp.CutoffByPercentile(ds, 0.02, 1)
 
-	distRes, err := core.RunLSHDDP(ds, core.LSHConfig{
+	distRes, err := core.RunLSHDDP(context.Background(), ds, core.LSHConfig{
 		Config:   core.Config{Engine: m, Dc: dc, Seed: 4},
 		Accuracy: 0.95, M: 5, Pi: 3,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	localRes, err := core.RunLSHDDP(ds, core.LSHConfig{
+	localRes, err := core.RunLSHDDP(context.Background(), ds, core.LSHConfig{
 		Config:   core.Config{Engine: &mapreduce.LocalEngine{Parallelism: 3}, Dc: dc, Seed: 4},
 		Accuracy: 0.95, M: 5, Pi: 3,
 	})
@@ -236,7 +237,7 @@ func TestMasterRejectsWithoutWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if _, err := m.Run(wordcountJob(nil), nil); err == nil {
+	if _, err := m.Run(context.Background(), wordcountJob(nil), nil); err == nil {
 		t.Fatal("want error with zero workers")
 	}
 }
@@ -248,7 +249,7 @@ func TestUnregisteredJobFailsCleanly(t *testing.T) {
 		Map:    func(_ *mapreduce.TaskContext, _ string, _ []byte, _ mapreduce.Emitter) error { return nil },
 		Reduce: sumReduce,
 	}
-	_, err := m.Run(job, []mapreduce.Pair{{Value: []byte("x")}})
+	_, err := m.Run(context.Background(), job, []mapreduce.Pair{{Value: []byte("x")}})
 	if err == nil || !strings.Contains(err.Error(), "not registered") {
 		t.Fatalf("want not-registered error, got %v", err)
 	}

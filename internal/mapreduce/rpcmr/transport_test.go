@@ -2,6 +2,7 @@ package rpcmr
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -270,7 +271,7 @@ func TestShuffleCompressionCountersEndToEnd(t *testing.T) {
 	job := factory(conf)
 	job.NumMaps = 4
 	job.NumReduces = 3
-	res, err := m.Run(job, chunkyInput(4))
+	res, err := m.Run(context.Background(), job, chunkyInput(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestShuffleRetryRecoversTransientAbort(t *testing.T) {
 	job := factory(conf)
 	job.NumMaps = 4
 	job.NumReduces = 3
-	res, err := m.Run(job, chunkyInput(4))
+	res, err := m.Run(context.Background(), job, chunkyInput(4))
 	if err != nil {
 		t.Fatalf("job with transient abort: %v", err)
 	}
@@ -367,7 +368,7 @@ func TestMidStreamPeerFailureRecovery(t *testing.T) {
 	job := factory(conf)
 	job.NumMaps = 4
 	job.NumReduces = 3
-	res, err := m.Run(job, chunkyInput(4))
+	res, err := m.Run(context.Background(), job, chunkyInput(4))
 	if err != nil {
 		t.Fatalf("job with mid-stream peer death: %v", err)
 	}

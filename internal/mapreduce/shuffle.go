@@ -125,3 +125,14 @@ func runCombiner(ctx *TaskContext, combine ReduceFunc, ps []Pair) ([]Pair, int, 
 
 // pairBytes is the shuffle size accounting for one record.
 func pairBytes(p Pair) int64 { return int64(len(p.Key) + len(p.Value)) }
+
+// PairsBytes is the shuffle-size accounting (key bytes + value bytes)
+// summed over a record slice — the unit the staging and dag.* byte
+// counters use, matching the per-record shuffle accounting.
+func PairsBytes(ps []Pair) int64 {
+	var n int64
+	for _, p := range ps {
+		n += pairBytes(p)
+	}
+	return n
+}

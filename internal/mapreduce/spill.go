@@ -103,8 +103,8 @@ func (h mergeHeap) Less(i, j int) bool {
 	}
 	return h[i].src < h[j].src
 }
-func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x any) { *h = append(*h, x.(mergeHead)) }
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeHead)) }
 func (h *mergeHeap) Pop() any {
 	old := *h
 	n := len(old)

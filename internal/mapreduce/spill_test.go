@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -115,11 +116,11 @@ func TestSpillEquivalenceProperty(t *testing.T) {
 		}
 		mem := &LocalEngine{Parallelism: 3}
 		spill := &LocalEngine{Parallelism: 3, SpillThresholdBytes: 16}
-		a, err := mem.Run(job(), input)
+		a, err := mem.Run(context.Background(), job(), input)
 		if err != nil {
 			return false
 		}
-		b, err := spill.Run(job(), input)
+		b, err := spill.Run(context.Background(), job(), input)
 		if err != nil {
 			return false
 		}
@@ -147,7 +148,7 @@ func TestSpillActuallySpills(t *testing.T) {
 			return nil
 		},
 	}
-	res, err := eng.Run(job, input)
+	res, err := eng.Run(context.Background(), job, input)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,7 +22,7 @@ import (
 func trainModel(t *testing.T, n, k int) (*model.Model, []int32, []bool) {
 	t.Helper()
 	ds := dataset.Blobs("serve-test", n, 2, k, 100, 2.5, 7)
-	res, err := core.RunLSHDDP(ds, core.LSHConfig{Config: core.Config{Seed: 7}})
+	res, err := core.RunLSHDDP(context.Background(), ds, core.LSHConfig{Config: core.Config{Seed: 7}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func trainModel(t *testing.T, n, k int) (*model.Model, []int32, []bool) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hr, err := core.RunLSHHalo(ds, res.Rho, labels, res.Stats.Dc, core.LSHConfig{Config: core.Config{Seed: 7}})
+	hr, err := core.RunLSHHalo(context.Background(), ds, res.Rho, labels, res.Stats.Dc, core.LSHConfig{Config: core.Config{Seed: 7}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package tuning
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -247,7 +248,7 @@ func CalibrateMu(dim int, seed int64) float64 {
 	}
 	eng := &mapreduce.LocalEngine{Parallelism: 1}
 	start = nowNanos()
-	res, err := eng.Run(job, input)
+	res, err := eng.Run(context.Background(), job, input)
 	if err != nil {
 		return 0.3 // fall back to the default on any failure
 	}

@@ -1,6 +1,7 @@
 package tuning
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -174,7 +175,7 @@ func TestCostModelTracksMeasuredDistances(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := core.RunLSHDDP(ds, core.LSHConfig{
+		res, err := core.RunLSHDDP(context.Background(), ds, core.LSHConfig{
 			Config: core.Config{Engine: &mapreduce.LocalEngine{Parallelism: 2}, Dc: dc, Seed: 1},
 			M:      c.M, Pi: c.Pi, W: w,
 		})
