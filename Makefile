@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet doccheck race bench bench-hot bench-shuffle bench-serve bench-dag bench-dag-smoke experiments examples clean
+.PHONY: all check build test test-short vet doccheck race bench bench-hot bench-scan bench-scan-smoke bench-shuffle bench-serve bench-dag bench-dag-smoke experiments examples clean
 
 all: check
 
 # The full gate: compile everything, vet, enforce package docs, run the
 # test suite, re-run the concurrency-heavy packages under the race
-# detector, and smoke the DAG scheduler's cache-reuse win.
-check: build vet doccheck test race bench-dag-smoke
+# detector, and smoke the DAG scheduler's cache-reuse win plus the compact
+# scan kernels.
+check: build vet doccheck test race bench-dag-smoke bench-scan-smoke
 
 build:
 	$(GO) build ./...
@@ -34,7 +35,7 @@ test-short:
 # ./internal/mapreduce/... recursively covers the dag scheduler package,
 # whose concurrent node dispatch is the newest race surface.
 race:
-	$(GO) test -race ./internal/mapreduce/... ./internal/mapreduce/rpcmr/... ./internal/kernels/... ./internal/dfs/... ./internal/chaos/... ./internal/serve/... ./internal/model/...
+	$(GO) test -race ./internal/mapreduce/... ./internal/mapreduce/rpcmr/... ./internal/kernels/... ./internal/points/... ./internal/dfs/... ./internal/chaos/... ./internal/serve/... ./internal/model/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -52,18 +53,38 @@ bench-hot:
 	$(GO) test -bench 'Sort|Shuffle' -run xxx -benchmem \
 		-benchtime $(BENCHTIME) -count $(BENCHCOUNT) ./internal/mapreduce/
 
+# Compact scan-path micro-benchmarks: f64 vs f32 vs q8 single-query NN,
+# multi-query NNBatch, and compact ρ accumulation (numbers feed
+# BENCH_PR7.json alongside bench-serve's end-to-end sweep).
+bench-scan:
+	$(GO) test -bench 'NNScan|NNBatch|CompactRho' -run '^$$' -benchmem \
+		-benchtime $(BENCHTIME) -count $(BENCHCOUNT) ./internal/kernels/
+
+# One fast iteration per scan benchmark for the check gate and CI: catches
+# a compact kernel that stops compiling or panics on real shapes.
+bench-scan-smoke:
+	$(GO) test -bench 'NNScan|NNBatch|CompactRho' -run '^$$' -benchtime 1x ./internal/kernels/
+
 # Shuffle transport comparison: legacy gob-RPC vs framed-TCP streaming vs
 # framed+flate, at 1/16/64MB partitions (numbers recorded in BENCH_PR3.json).
 bench-shuffle:
 	$(GO) test -bench BenchmarkShuffleTransport -run '^$$' -benchmem \
 		-benchtime $(BENCHTIME) ./internal/mapreduce/rpcmr/
 
-# Online-serving benchmark: train a model in-process, then sweep closed-loop
-# client counts over the LSH-pruned and exact-scan serving paths (numbers
-# recorded in BENCH_PR5.json). The queue bound is kept below the top client
-# count so the shed path is exercised too.
+# Online-serving benchmark: train a model in-process (built directly from
+# blob geometry at ≥100k points), then sweep closed-loop client counts over
+# the LSH-pruned and exact-scan serving paths at each scan precision
+# (numbers recorded in BENCH_PR5.json / BENCH_PR7.json). The queue bound is
+# kept below the top client count so the shed path is exercised too.
+# Override size and shape per run:
+#
+#	make bench-serve SERVE_N=1000000 SERVE_DIM=8 SERVE_PRECISIONS=f64,f32,q8
+SERVE_N ?= 50000
+SERVE_DIM ?= 8
+SERVE_PRECISIONS ?= f64,f32,q8
 bench-serve:
-	$(GO) run ./cmd/serveload -self -n 50000 -dim 8 -clients 1,8,64 -queue 32 -duration 3s -json
+	$(GO) run ./cmd/serveload -self -n $(SERVE_N) -dim $(SERVE_DIM) -clients 1,8,64 \
+		-queue 32 -duration 3s -precisions $(SERVE_PRECISIONS) -json
 
 # DAG scheduler comparison: hand-sequenced-equivalent fresh sessions vs a
 # shared cached session, over repeated LSH-DDP + halo runs (wall, job

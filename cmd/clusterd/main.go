@@ -51,6 +51,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "concurrent requests processed per batch (serve.workers)")
 		maxPts    = flag.Int("max-points", 1024, "maximum points per request (serve.max.request.points)")
 		exact     = flag.Bool("exact", false, "disable LSH pruning; answer every query by full scan (serve.exact)")
+		precision = flag.String("precision", "f64", "scan precision: f64, f32, or q8 — compact scans re-rank exactly, results are identical (serve.scan.precision)")
 		traceOut  = flag.String("trace", "", "write a JSONL trace with one span per request to this file on exit (debugging; unbounded)")
 		verbose   = flag.Bool("v", false, "log server events")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address")
@@ -81,7 +82,11 @@ func main() {
 		Workers:          *workers,
 		MaxRequestPoints: *maxPts,
 		ExactOnly:        *exact,
+		Precision:        *precision,
 		Loader:           loader,
+	}
+	if _, err := serve.ParsePrecision(*precision); err != nil {
+		fatal(err)
 	}
 	if *verbose {
 		cfg.Log = func(format string, args ...any) {

@@ -8,11 +8,16 @@
 //	serveload -addr host:8080 -input points.csv       # drive a running clusterd
 //	serveload -self -n 20000 -clients 1,8,64 -json    # end-to-end benchmark
 //
-// -self trains LSH-DDP on a seeded blob dataset in-process, exports the
-// model, starts a serve.Server on a loopback port, and sweeps the client
-// levels twice — once LSH-pruned, once exact-scan — printing per-level
-// QPS, p50/p99 latency, shed rate, and average candidate rows scanned.
-// This is what `make bench-serve` runs (results in BENCH_PR5.json).
+// -self trains LSH-DDP on a seeded blob dataset in-process (above ~100k
+// points it builds an equivalent model directly from the blob geometry, so
+// a 1M-point serving benchmark does not pay for a 1M-point training run),
+// exports the model, starts a serve.Server on a loopback port, and sweeps
+// the client levels per scan precision (-precisions) twice — once
+// LSH-pruned, once exact-scan — printing per-level QPS, p50/p99 latency,
+// shed rate, and average candidate/re-rank rows scanned. Candidate and
+// re-rank averages come from per-level counter deltas, so each level
+// reports its own scan volume rather than a cumulative running mean.
+// This is what `make bench-serve` runs (results in BENCH_PR7.json).
 package main
 
 import (
@@ -32,6 +37,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/lsh"
+	"repro/internal/model"
 	"repro/internal/points"
 	"repro/internal/serve"
 )
@@ -50,6 +57,7 @@ func main() {
 		queue    = flag.Int("queue", 32, "self: server admission queue bound")
 		batchMax = flag.Int("batch-max", 64, "self: server batch size")
 		workers  = flag.Int("workers", 1, "self: server batch workers")
+		precs    = flag.String("precisions", "f64", "self: comma-separated scan precisions to sweep (f64,f32,q8)")
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON summary")
 	)
 	flag.Parse()
@@ -60,14 +68,16 @@ func main() {
 	var results []levelResult
 	switch {
 	case *selfHost:
-		results, err = runSelf(*n, *dim, *k, *seed, levels, *duration, *queue, *batchMax, *workers)
+		precisions, perr := parsePrecisions(*precs)
+		fatal(perr)
+		results, err = runSelf(*n, *dim, *k, *seed, levels, precisions, *duration, *queue, *batchMax, *workers)
 	case *addr != "":
 		if *input == "" {
 			fatal(fmt.Errorf("-addr mode needs -input (query points CSV)"))
 		}
 		ds, derr := dataset.ReadCSVFile(*input, "queries", false)
 		fatal(derr)
-		results, err = sweep(*addr, "remote", queriesOf(ds), levels, *duration)
+		results, err = sweep(*addr, "remote", "", queriesOf(ds), levels, *duration, nil)
 	default:
 		fatal(fmt.Errorf("need -addr or -self"))
 	}
@@ -76,19 +86,20 @@ func main() {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		fatal(enc.Encode(map[string]any{"levels": results}))
+		fatal(enc.Encode(map[string]any{"n": *n, "dim": *dim, "levels": results}))
 		return
 	}
 	for _, r := range results {
-		fmt.Printf("%-6s clients=%-3d qps=%-8.0f p50=%-10s p99=%-10s shed=%.1f%% avg_cand=%.0f\n",
-			r.Mode, r.Clients, r.QPS, time.Duration(r.P50us)*time.Microsecond,
-			time.Duration(r.P99us)*time.Microsecond, 100*r.ShedRate, r.AvgCandidates)
+		fmt.Printf("%-6s %-4s clients=%-3d qps=%-8.0f p50=%-10s p99=%-10s shed=%.1f%% avg_cand=%.0f avg_rerank=%.0f\n",
+			r.Mode, r.Precision, r.Clients, r.QPS, time.Duration(r.P50us)*time.Microsecond,
+			time.Duration(r.P99us)*time.Microsecond, 100*r.ShedRate, r.AvgCandidates, r.AvgRerank)
 	}
 }
 
-// levelResult is one (mode, client-count) measurement.
+// levelResult is one (mode, precision, client-count) measurement.
 type levelResult struct {
 	Mode          string  `json:"mode"` // "lsh" | "exact" | "remote"
+	Precision     string  `json:"precision,omitempty"`
 	Clients       int     `json:"clients"`
 	DurationS     float64 `json:"duration_s"`
 	Requests      int64   `json:"requests"`
@@ -99,6 +110,7 @@ type levelResult struct {
 	P99us         int64   `json:"p99_us"`
 	ShedRate      float64 `json:"shed_rate"`
 	AvgCandidates float64 `json:"avg_candidates"`
+	AvgRerank     float64 `json:"avg_rerank"`
 }
 
 func parseLevels(s string) ([]int, error) {
@@ -113,28 +125,119 @@ func parseLevels(s string) ([]int, error) {
 	return levels, nil
 }
 
-// runSelf trains, exports, and benchmarks both serving paths in-process.
-func runSelf(n, dim, k int, seed int64, levels []int, dur time.Duration, queue, batchMax, workers int) ([]levelResult, error) {
+func parsePrecisions(s string) ([]serve.Precision, error) {
+	var out []serve.Precision
+	for _, part := range strings.Split(s, ",") {
+		p, err := serve.ParsePrecision(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// buildModel produces the serving artifact for -self. Small runs go through
+// the real training pipeline; at ≥100k points that would dominate the
+// benchmark wall clock, so the model is assembled directly from the blob
+// geometry instead: k well-separated peaks, nearest-peak labels, densities
+// decaying with peak distance, and the same d_c estimator and LSH width
+// solver the pipeline uses. The serving path cannot tell the difference —
+// it sees a valid model with the same row count, geometry, and layouts.
+func buildModel(ds *points.Dataset, k int, seed int64) (*builtModel, error) {
+	n := ds.N()
+	if n < 100000 {
+		res, err := core.RunLSHDDP(context.Background(), ds, core.LSHConfig{Config: core.Config{Seed: seed}})
+		if err != nil {
+			return nil, err
+		}
+		peaks, labels, err := res.Cluster(ds, core.SelectTopK(k))
+		if err != nil {
+			return nil, err
+		}
+		hr, err := core.RunLSHHalo(context.Background(), ds, res.Rho, labels, res.Stats.Dc, core.LSHConfig{Config: core.Config{Seed: seed}})
+		if err != nil {
+			return nil, err
+		}
+		mdl, err := core.ExportModel(ds, res, peaks, labels, hr.Border, seed)
+		if err != nil {
+			return nil, err
+		}
+		return &builtModel{mdl: mdl, dc: res.Stats.Dc}, nil
+	}
+
+	fmt.Fprintf(os.Stderr, "serveload: %d points ≥ 100k — building model from blob geometry\n", n)
+	dc := points.PercentileDistance(ds, 0.02, 100000, seed)
+	// Greedy farthest-point peaks over a sample, then nearest-peak labels.
+	rng := points.NewRand(seed + 7)
+	sample := rng.Perm(n)[:min(n, 64*k)]
+	peaks := []int32{int32(sample[0])}
+	for len(peaks) < k {
+		bestIdx, bestD := sample[0], -1.0
+		for _, i := range sample {
+			d := peakDist2(ds, peaks, i)
+			if d > bestD {
+				bestIdx, bestD = i, d
+			}
+		}
+		peaks = append(peaks, int32(bestIdx))
+	}
+	labels := make([]int32, n)
+	rho := make([]float64, n)
+	for i := range labels {
+		best, bestD2 := 0, points.SqDist(ds.Points[i].Pos, ds.Points[peaks[0]].Pos)
+		for c := 1; c < len(peaks); c++ {
+			if d2 := points.SqDist(ds.Points[i].Pos, ds.Points[peaks[c]].Pos); d2 < bestD2 {
+				best, bestD2 = c, d2
+			}
+		}
+		labels[i] = int32(best)
+		rho[i] = 1 / (1 + bestD2/(dc*dc))
+	}
+	const m, pi, accuracy = 10, 3, 0.99
+	w, err := lsh.SolveWidth(accuracy, dc, pi, m)
+	if err != nil {
+		return nil, err
+	}
+	res := &core.Result{Rho: rho}
+	res.Stats.Dc = dc
+	res.Stats.M, res.Stats.Pi, res.Stats.W = m, pi, w
+	mdl, err := core.ExportModel(ds, res, peaks, labels, nil, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &builtModel{mdl: mdl, dc: dc}, nil
+}
+
+type builtModel struct {
+	mdl *model.Model
+	dc  float64
+}
+
+func peakDist2(ds *points.Dataset, peaks []int32, i int) float64 {
+	best := points.SqDist(ds.Points[i].Pos, ds.Points[peaks[0]].Pos)
+	for _, p := range peaks[1:] {
+		if d := points.SqDist(ds.Points[i].Pos, ds.Points[p].Pos); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// runSelf trains (or fabricates) a model and benchmarks both serving paths
+// at every requested scan precision in-process. Engines are built once per
+// precision and shared across the pruned and exact servers, so the f32/q8
+// mirrors are derived once.
+func runSelf(n, dim, k int, seed int64, levels []int, precisions []serve.Precision, dur time.Duration, queue, batchMax, workers int) ([]levelResult, error) {
 	ds := dataset.Blobs("bench-serve", n, dim, k, 100, 2.5, seed)
-	fmt.Fprintf(os.Stderr, "serveload: training LSH-DDP on %d points (dim %d)...\n", n, dim)
-	res, err := core.RunLSHDDP(context.Background(), ds, core.LSHConfig{Config: core.Config{Seed: seed}})
+	fmt.Fprintf(os.Stderr, "serveload: preparing model for %d points (dim %d)...\n", n, dim)
+	bm, err := buildModel(ds, k, seed)
 	if err != nil {
 		return nil, err
 	}
-	peaks, labels, err := res.Cluster(ds, core.SelectTopK(k))
-	if err != nil {
-		return nil, err
-	}
-	hr, err := core.RunLSHHalo(context.Background(), ds, res.Rho, labels, res.Stats.Dc, core.LSHConfig{Config: core.Config{Seed: seed}})
-	if err != nil {
-		return nil, err
-	}
-	mdl, err := core.ExportModel(ds, res, peaks, labels, hr.Border, seed)
-	if err != nil {
-		return nil, err
-	}
+	mdl, dc := bm.mdl, bm.dc
 	fmt.Fprintf(os.Stderr, "serveload: model ready: %d clusters, dc=%.4g, M=%d pi=%d w=%.4g\n",
-		len(peaks), res.Stats.Dc, mdl.LSH.M, mdl.LSH.Pi, mdl.LSH.W)
+		mdl.NumClusters(), dc, mdl.LSH.M, mdl.LSH.Pi, mdl.LSH.W)
 
 	// Queries: training points jittered by a d_c/2-scale Gaussian, so the
 	// candidate sets look like real nearby traffic rather than replays.
@@ -143,47 +246,50 @@ func runSelf(n, dim, k int, seed int64, levels []int, dur time.Duration, queue, 
 	for i, p := range ds.Points {
 		q := make([]float64, dim)
 		for j, x := range p.Pos {
-			q[j] = x + rng.NormFloat64()*res.Stats.Dc/2
+			q[j] = x + rng.NormFloat64()*dc/2
 		}
 		queries[i] = q
 	}
 
 	var all []levelResult
-	for _, mode := range []struct {
-		name  string
-		exact bool
-	}{{"lsh", false}, {"exact", true}} {
-		srv := serve.New(serve.Config{
-			BatchMax:   batchMax,
-			QueueDepth: queue,
-			Workers:    workers,
-			ExactOnly:  mode.exact,
-		})
-		if err := srv.SetModel(mdl); err != nil {
-			return nil, err
-		}
-		if err := srv.Start("127.0.0.1:0"); err != nil {
-			return nil, err
-		}
-		rs, err := sweep(srv.Addr(), mode.name, queries, levels, dur)
+	for _, prec := range precisions {
+		eng, err := serve.NewEngine(mdl, prec)
 		if err != nil {
 			return nil, err
 		}
-		// Attribute candidate scan volume from the server's own counters.
-		pts := srv.Counters().Get(serve.CtrPoints)
-		if pts > 0 {
-			avg := float64(srv.Counters().Get(serve.CtrCandidates)) / float64(pts)
-			for i := range rs {
-				rs[i].AvgCandidates = avg
+		if eng.Precision() != prec {
+			fmt.Fprintf(os.Stderr, "serveload: precision %s downgraded to %s by the model\n", prec, eng.Precision())
+		}
+		for _, mode := range []struct {
+			name  string
+			exact bool
+		}{{"lsh", false}, {"exact", true}} {
+			srv := serve.New(serve.Config{
+				BatchMax:   batchMax,
+				QueueDepth: queue,
+				Workers:    workers,
+				ExactOnly:  mode.exact,
+			})
+			srv.UseEngine(eng)
+			if err := srv.Start("127.0.0.1:0"); err != nil {
+				return nil, err
 			}
-		}
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		if err := srv.Shutdown(ctx); err != nil {
+			snap := func() (pts, cand, rerank int64) {
+				c := srv.Counters()
+				return c.Get(serve.CtrPoints), c.Get(serve.CtrCandidates), c.Get(serve.CtrRerankRows)
+			}
+			rs, err := sweep(srv.Addr(), mode.name, eng.Precision().String(), queries, levels, dur, snap)
+			if err != nil {
+				return nil, err
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := srv.Shutdown(ctx); err != nil {
+				cancel()
+				return nil, err
+			}
 			cancel()
-			return nil, err
+			all = append(all, rs...)
 		}
-		cancel()
-		all = append(all, rs...)
 	}
 	return all, nil
 }
@@ -197,16 +303,30 @@ func queriesOf(ds *points.Dataset) [][]float64 {
 }
 
 // sweep runs the closed loop at every client level against one server.
-func sweep(addr, mode string, queries [][]float64, levels []int, dur time.Duration) ([]levelResult, error) {
+// When snap is non-nil, candidate and re-rank volume are attributed from
+// per-level counter deltas (not cumulative totals, which would smear every
+// level toward the running mean).
+func sweep(addr, mode, prec string, queries [][]float64, levels []int, dur time.Duration, snap func() (pts, cand, rerank int64)) ([]levelResult, error) {
 	var out []levelResult
 	for _, c := range levels {
+		var pts0, cand0, rer0 int64
+		if snap != nil {
+			pts0, cand0, rer0 = snap()
+		}
 		r, err := runLevel(addr, queries, c, dur)
 		if err != nil {
 			return nil, err
 		}
-		r.Mode = mode
-		fmt.Fprintf(os.Stderr, "serveload: %s clients=%d: %d req (%0.f qps), p50=%s p99=%s, shed=%d, errors=%d\n",
-			mode, c, r.Requests, r.QPS, time.Duration(r.P50us)*time.Microsecond,
+		r.Mode, r.Precision = mode, prec
+		if snap != nil {
+			pts1, cand1, rer1 := snap()
+			if d := pts1 - pts0; d > 0 {
+				r.AvgCandidates = float64(cand1-cand0) / float64(d)
+				r.AvgRerank = float64(rer1-rer0) / float64(d)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "serveload: %s/%s clients=%d: %d req (%0.f qps), p50=%s p99=%s, shed=%d, errors=%d\n",
+			mode, prec, c, r.Requests, r.QPS, time.Duration(r.P50us)*time.Microsecond,
 			time.Duration(r.P99us)*time.Microsecond, r.Shed, r.Errors)
 		out = append(out, *r)
 	}

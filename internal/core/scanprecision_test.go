@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dp"
+)
+
+// TestScanPrecisionBitIdentity pins the compact reducer path's contract:
+// running either pipeline with ScanPrecision "f32" must produce ρ, δ, and
+// upslope arrays bit-identical to the default float64 kernels (cutoff
+// kernel — the paper's estimator).
+func TestScanPrecisionBitIdentity(t *testing.T) {
+	ds := dataset.Blobs("scanprec", 900, 3, 4, 100, 2.5, 13)
+	ctx := context.Background()
+
+	t.Run("lsh", func(t *testing.T) {
+		base, err := core.RunLSHDDP(ctx, ds, core.LSHConfig{Config: core.Config{Seed: 5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f32, err := core.RunLSHDDP(ctx, ds, core.LSHConfig{Config: core.Config{Seed: 5, ScanPrecision: "f32"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareResults(t, base, f32)
+		if f32.Stats.DistanceComputations != base.Stats.DistanceComputations {
+			t.Errorf("distance computations differ: f32 %d, f64 %d",
+				f32.Stats.DistanceComputations, base.Stats.DistanceComputations)
+		}
+	})
+
+	t.Run("basic", func(t *testing.T) {
+		base, err := core.RunBasicDDP(ctx, ds, core.BasicConfig{Config: core.Config{Seed: 5}, BlockSize: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f32, err := core.RunBasicDDP(ctx, ds, core.BasicConfig{Config: core.Config{Seed: 5, ScanPrecision: "f32"}, BlockSize: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareResults(t, base, f32)
+	})
+
+	// The compact path steps aside when intra-partition parallelism takes
+	// the group; results must still be bit-identical.
+	t.Run("lsh-parallel", func(t *testing.T) {
+		base, err := core.RunLSHDDP(ctx, ds, core.LSHConfig{Config: core.Config{Seed: 5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mixed, err := core.RunLSHDDP(ctx, ds, core.LSHConfig{
+			Config: core.Config{Seed: 5, ScanPrecision: "f32", ParallelThreshold: 64, ParallelWorkers: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareResults(t, base, mixed)
+	})
+
+	// Gaussian ρ from the compact path carries a documented tolerance
+	// instead of bit-identity.
+	t.Run("lsh-gaussian", func(t *testing.T) {
+		base, err := core.RunLSHDDP(ctx, ds, core.LSHConfig{Config: core.Config{Seed: 5, Kernel: dp.KernelGaussian}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f32, err := core.RunLSHDDP(ctx, ds, core.LSHConfig{Config: core.Config{Seed: 5, Kernel: dp.KernelGaussian, ScanPrecision: "f32"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base.Rho {
+			diff := base.Rho[i] - f32.Rho[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 1e-4*(1+base.Rho[i]) {
+				t.Fatalf("gaussian rho %d: %v vs %v outside tolerance", i, f32.Rho[i], base.Rho[i])
+			}
+		}
+	})
+
+	t.Run("rejects-unknown", func(t *testing.T) {
+		_, err := core.RunLSHDDP(ctx, ds, core.LSHConfig{Config: core.Config{ScanPrecision: "q8"}})
+		if err == nil {
+			t.Error("LSH run accepted serving-only precision q8")
+		}
+		_, err = core.RunBasicDDP(ctx, ds, core.BasicConfig{Config: core.Config{ScanPrecision: "fp16"}})
+		if err == nil {
+			t.Error("Basic run accepted unknown precision")
+		}
+	})
+}
+
+func compareResults(t *testing.T, want, got *core.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Rho, got.Rho) {
+		t.Fatal("rho arrays differ between scan precisions")
+	}
+	if !reflect.DeepEqual(want.Delta, got.Delta) {
+		t.Fatal("delta arrays differ between scan precisions")
+	}
+	if !reflect.DeepEqual(want.Upslope, got.Upslope) {
+		t.Fatal("upslope arrays differ between scan precisions")
+	}
+}

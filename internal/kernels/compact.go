@@ -1,0 +1,386 @@
+package kernels
+
+// Compact (float32 / 8-bit-quantized) NN scan kernels with exact float64
+// re-rank. The scan streams a compact mirror of the coordinate block —
+// half or an eighth of the float64 bytes — and collects a shortlist of
+// every row that *could* be the true nearest neighbor under a sound error
+// bound; the caller then re-ranks the shortlist with the exact float64
+// kernels (NNRows), so the final result — index, squared distance, and the
+// lowest-row-index tie rule — is bit-identical to a pure float64 scan.
+//
+// Soundness rests on one contract (Bounds): the compact squared distance
+// d32 and the exact squared distance d64 of the same row pair satisfy
+//
+//	|sqrt(d32) − sqrt(d64)| ≤ Rel·sqrt(d64) + Abs
+//
+// with Rel/Abs chosen far above the worst-case rounding of the compact
+// arithmetic (see F32Bounds/Q8Bounds). Every admission test is arranged so
+// that a NaN or +Inf compact distance — coordinate overflow on conversion,
+// underflow pile-ups, quantizer corner cases — fails toward "keep the row",
+// so pathological inputs degrade to a full re-rank, never a wrong answer.
+
+import (
+	"math"
+
+	"repro/internal/points"
+)
+
+// ConfScanPrecision is the Conf key selecting the reducer-side scan
+// precision ("f64" default, or "f32" for the compact path with exact
+// re-check). The serving daemon has its own knob (serve.scan.precision)
+// which additionally accepts "q8".
+const ConfScanPrecision = "mr.scan.precision"
+
+// Scan precision values shared by the mr.* knob and the serving knob.
+const (
+	ScanF64 = "f64"
+	ScanF32 = "f32"
+	ScanQ8  = "q8"
+)
+
+// ValidScanPrecision reports whether s is a usable reducer-side precision.
+// The empty string means "default" (f64). q8 is serving-only: reducer
+// groups have no precomputed codebook, and building one per group would
+// cost more than the scan it saves.
+func ValidScanPrecision(s string) bool {
+	switch s {
+	case "", ScanF64, ScanF32:
+		return true
+	}
+	return false
+}
+
+// Bounds is the error contract between a finite compact squared distance
+// and its exact float64 counterpart:
+// |sqrt(d32) − sqrt(d64)| ≤ Rel·sqrt(d64) + Abs. A non-finite compact
+// distance (overflow to +Inf, NaN) carries no information and every kernel
+// routes it to the exact path instead.
+// All threshold helpers are sound for any Rel in [0, 1) and Abs ≥ 0; the
+// constructors below build Rel/Abs with ≥8x margin over worst-case
+// rounding, so the shortlists they gate stay tiny on real data.
+type Bounds struct {
+	Rel float64
+	Abs float64
+}
+
+// F32Bounds bounds a float32 mirror scan: dim-dimensional rows whose
+// float64 source coordinates are bounded by maxAbs in magnitude (both
+// operands — use the larger of the block's and the query's maximum).
+//
+//   - Rel covers the relative rounding of dim float32 subtract/multiply/add
+//     steps (worst case ~(dim+2)·2⁻²⁴ on the squared distance, i.e. half
+//     that on the distance; (dim+6)·2⁻²⁰ is ≥16x margin).
+//   - Abs covers coordinate conversion error (≤ maxAbs·2⁻²⁴ per coordinate,
+//     so ≤ √dim·2·maxAbs·2⁻²⁴ on the distance; the 2⁻¹⁸ factor is 64x
+//     margin) plus a √dim·2⁻⁵⁵ floor for float32 underflow: subnormal
+//     squares carry absolute error up to ~2⁻¹²⁶ each, which perturbs the
+//     distance by at most ~√dim·2⁻⁶³.
+func F32Bounds(dim int, maxAbs float64) Bounds {
+	sd := math.Sqrt(float64(dim))
+	return Bounds{
+		Rel: float64(dim+6) * 0x1p-20,
+		Abs: sd * (maxAbs*0x1p-18 + 0x1p-55),
+	}
+}
+
+// Q8Bounds bounds a quantized-code scan against a per-query lookup table
+// built from the exact query (BuildQ8LUT): errBound is
+// points.Q8Params.ErrBound(), already 2x the worst-case Euclidean
+// displacement between a stored row and its dequantized form. Rel covers
+// the float32 rounding of the table entries and their summation; the floor
+// covers underflow as in F32Bounds.
+func Q8Bounds(dim int, errBound float64) Bounds {
+	return Bounds{
+		Rel: float64(dim+6) * 0x1p-20,
+		Abs: errBound + math.Sqrt(float64(dim))*0x1p-55,
+	}
+}
+
+// Valid reports whether the bounds are usable (finite, Rel < 1). Invalid
+// bounds would still be sound — every threshold degenerates to
+// "keep/re-check everything" — but a caller holding them should prefer the
+// plain float64 path.
+func (b Bounds) Valid() bool {
+	return b.Rel >= 0 && b.Rel < 1 && b.Abs >= 0 &&
+		!math.IsInf(b.Rel, 0) && !math.IsInf(b.Abs, 0) &&
+		!math.IsNaN(b.Rel) && !math.IsNaN(b.Abs)
+}
+
+// GeThresh returns T such that float64(d32) > T proves d64 ≥ x2.
+// (From the contract, s64 < √x2 forces s32 < √x2·(1+Rel)+Abs.)
+func (b Bounds) GeThresh(x2 float64) float64 {
+	if math.IsInf(x2, 1) {
+		return inf
+	}
+	t := math.Sqrt(x2)*(1+b.Rel) + b.Abs
+	return t * t
+}
+
+// LtThresh returns T such that float64(d32) < T proves d64 < x2, or -1
+// when no compact value can prove it (the provable band is empty).
+func (b Bounds) LtThresh(x2 float64) float64 {
+	t := math.Sqrt(x2)*(1-b.Rel) - b.Abs
+	if !(t > 0) {
+		return -1
+	}
+	return t * t
+}
+
+// KeepThresh returns the shortlist admission threshold for a running
+// compact best b32 (a float64-promoted float32 squared distance): every
+// row whose exact distance ties or beats the exact distance of the current
+// compact-best row satisfies float64(d32) ≤ KeepThresh(b32). Rows above
+// the threshold are provably not the nearest neighbor (nor tied for it).
+func (b Bounds) KeepThresh(b32 float64) float64 {
+	if !(b32 < inf) || !(b.Rel < 1) {
+		return inf
+	}
+	s := math.Sqrt(b32)
+	u := (s + b.Abs) / (1 - b.Rel) // ≥ exact distance of the compact-best row
+	t := u*(1+b.Rel) + b.Abs       // ≥ compact distance of any row at least that close
+	return t * t
+}
+
+// shortlistCompactAt is the shortlist length that triggers re-filtering
+// against the tightened threshold. Genuine mass ties can exceed any fixed
+// cap, so the limit doubles when a compaction fails to shrink the list.
+const shortlistCompactAt = 256
+
+// Shortlist collects candidate rows during a compact scan: every observed
+// row whose compact distance does not provably exceed the best possible
+// exact distance. Reset it with the scan's Bounds, feed it via the
+// compact NN kernels, then Finish and re-rank the surviving rows with
+// NNRows over the float64 data.
+type Shortlist struct {
+	Rows  []int32
+	d2    []float32
+	best  float64
+	thr   float64
+	bnd   Bounds
+	limit int
+}
+
+// Reset prepares the shortlist for one scan under the given bounds,
+// keeping backing storage.
+func (sl *Shortlist) Reset(bnd Bounds) {
+	sl.Rows = sl.Rows[:0]
+	sl.d2 = sl.d2[:0]
+	sl.best = inf
+	sl.thr = inf
+	sl.bnd = bnd
+	sl.limit = shortlistCompactAt
+}
+
+// observe folds one scanned row into the shortlist. Comparisons are
+// arranged so a NaN compact distance is admitted and never tightens the
+// threshold.
+func (sl *Shortlist) observe(row int32, d32 float32) {
+	df := float64(d32)
+	if df > sl.thr {
+		return
+	}
+	sl.Rows = append(sl.Rows, row)
+	sl.d2 = append(sl.d2, d32)
+	if df < sl.best {
+		sl.best = df
+		sl.thr = sl.bnd.KeepThresh(df)
+	}
+	if len(sl.Rows) >= sl.limit {
+		sl.refilter()
+		if 2*len(sl.Rows) > sl.limit {
+			sl.limit = 2 * len(sl.Rows)
+		}
+	}
+}
+
+// refilter drops rows excluded by the current threshold.
+func (sl *Shortlist) refilter() {
+	w := 0
+	for i, r := range sl.Rows {
+		if !(float64(sl.d2[i]) > sl.thr) {
+			sl.Rows[w] = r
+			sl.d2[w] = sl.d2[i]
+			w++
+		}
+	}
+	sl.Rows = sl.Rows[:w]
+	sl.d2 = sl.d2[:w]
+}
+
+// Finish applies the final threshold and returns the surviving rows. The
+// slice aliases the shortlist and is invalidated by the next Reset.
+func (sl *Shortlist) Finish() []int32 {
+	sl.refilter()
+	return sl.Rows
+}
+
+// sqDist32 mirrors sqDistFlat in float32.
+func sqDist32(a, b []float32, dim int) float32 {
+	switch dim {
+	case 2:
+		d0 := a[0] - b[0]
+		d1 := a[1] - b[1]
+		s := d0 * d0
+		s += d1 * d1
+		return s
+	case 3:
+		d0 := a[0] - b[0]
+		d1 := a[1] - b[1]
+		d2 := a[2] - b[2]
+		s := d0 * d0
+		s += d1 * d1
+		s += d2 * d2
+		return s
+	}
+	var s float32
+	for t := 0; t < dim; t++ {
+		d := a[t] - b[t]
+		s += d * d
+	}
+	return s
+}
+
+// NNRows32 scans the listed rows of the float32 mirror, folding each into
+// the shortlist (which the caller has Reset with this scan's Bounds). The
+// admission reject — the overwhelmingly common case once a good best is
+// seen — is hoisted out of observe so the hot loop pays one comparison per
+// row; NaN fails the rejection test and reaches observe, as required.
+func NNRows32(data32 []float32, dim int, q32 []float32, rows []int32, sl *Shortlist) {
+	thr := sl.thr
+	for _, r := range rows {
+		i := int(r)
+		d2 := sqDist32(q32, data32[i*dim:(i+1)*dim], dim)
+		if float64(d2) > thr {
+			continue
+		}
+		sl.observe(r, d2)
+		thr = sl.thr
+	}
+}
+
+// NNRange32 scans rows [lo, hi) of the float32 mirror into the shortlist.
+func NNRange32(data32 []float32, dim int, q32 []float32, lo, hi int, sl *Shortlist) {
+	thr := sl.thr
+	for i := lo; i < hi; i++ {
+		d2 := sqDist32(q32, data32[i*dim:(i+1)*dim], dim)
+		if float64(d2) > thr {
+			continue
+		}
+		sl.observe(int32(i), d2)
+		thr = sl.thr
+	}
+}
+
+// NNBatch32 is the multi-query variant of NNRange32: one pass over each
+// row tile of the float32 mirror feeds every query's shortlist. qs32 is
+// flat (len(sls)*dim); each shortlist must be Reset by the caller. Per
+// query the rows arrive in ascending order, exactly as in NNRange32.
+func NNBatch32(data32 []float32, dim int, qs32 []float32, lo, hi int, sls []Shortlist) {
+	nq := len(sls)
+	for t := lo; t < hi; t += nnTile {
+		tHi := minInt(t+nnTile, hi)
+		for qi := 0; qi < nq; qi++ {
+			q := qs32[qi*dim : (qi+1)*dim]
+			sl := &sls[qi]
+			thr := sl.thr
+			for i := t; i < tHi; i++ {
+				d2 := sqDist32(q, data32[i*dim:(i+1)*dim], dim)
+				if float64(d2) > thr {
+					continue
+				}
+				sl.observe(int32(i), d2)
+				thr = sl.thr
+			}
+		}
+	}
+}
+
+// Q8LUT is the per-query lookup table of a quantized scan: Tab[d·256+c] is
+// the float32 squared residual between query coordinate d and code c's
+// dequantized value, so a row's compact squared distance is dim table
+// loads and adds — no multiplies, and only one byte of coordinate data
+// streamed per dimension.
+type Q8LUT struct {
+	Tab []float32
+}
+
+// BuildQ8LUT fills the table for query q (exact float64 coordinates)
+// against the block's quantization parameters, reusing lut's storage.
+func BuildQ8LUT(p points.Q8Params, q []float64, lut *Q8LUT) {
+	dim := p.Dim()
+	need := dim * 256
+	if cap(lut.Tab) < need {
+		lut.Tab = make([]float32, need)
+	}
+	lut.Tab = lut.Tab[:need]
+	for d := 0; d < dim; d++ {
+		qd, mn, sc := q[d], p.Min[d], p.Scale[d]
+		row := lut.Tab[d*256 : (d+1)*256]
+		for c := range row {
+			diff := qd - (mn + sc*float64(c))
+			row[c] = float32(diff * diff)
+		}
+	}
+}
+
+// q8Dist sums the table entries of one row's codes.
+func q8Dist(codes []uint8, tab []float32) float32 {
+	var s float32
+	base := 0
+	for _, c := range codes {
+		s += tab[base+int(c)]
+		base += 256
+	}
+	return s
+}
+
+// NNRowsQ8 scans the listed rows of the quantized block into the
+// shortlist (Reset by the caller with Q8Bounds).
+func NNRowsQ8(codes []uint8, dim int, lut *Q8LUT, rows []int32, sl *Shortlist) {
+	thr := sl.thr
+	for _, r := range rows {
+		i := int(r)
+		d2 := q8Dist(codes[i*dim:(i+1)*dim], lut.Tab)
+		if float64(d2) > thr {
+			continue
+		}
+		sl.observe(r, d2)
+		thr = sl.thr
+	}
+}
+
+// NNRangeQ8 scans rows [lo, hi) of the quantized block into the shortlist.
+func NNRangeQ8(codes []uint8, dim int, lut *Q8LUT, lo, hi int, sl *Shortlist) {
+	thr := sl.thr
+	for i := lo; i < hi; i++ {
+		d2 := q8Dist(codes[i*dim:(i+1)*dim], lut.Tab)
+		if float64(d2) > thr {
+			continue
+		}
+		sl.observe(int32(i), d2)
+		thr = sl.thr
+	}
+}
+
+// NNBatchQ8 is the multi-query variant of NNRangeQ8: luts and sls are
+// parallel per-query slices, and one pass over each row tile of the code
+// block feeds every query's shortlist.
+func NNBatchQ8(codes []uint8, dim int, luts []Q8LUT, lo, hi int, sls []Shortlist) {
+	nq := len(sls)
+	for t := lo; t < hi; t += nnTile {
+		tHi := minInt(t+nnTile, hi)
+		for qi := 0; qi < nq; qi++ {
+			tab := luts[qi].Tab
+			sl := &sls[qi]
+			thr := sl.thr
+			for i := t; i < tHi; i++ {
+				d2 := q8Dist(codes[i*dim:(i+1)*dim], tab)
+				if float64(d2) > thr {
+					continue
+				}
+				sl.observe(int32(i), d2)
+				thr = sl.thr
+			}
+		}
+	}
+}

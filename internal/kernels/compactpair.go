@@ -1,0 +1,265 @@
+package kernels
+
+// Compact (float32) variants of the pairwise ρ/δ kernels. Each pair's
+// squared distance is first computed over a float32 mirror of the group
+// (points.Matrix32); the Bounds contract then proves, for most pairs, that
+// the exact float64 distance could not change the accumulator — the pair
+// is skipped — and the few pairs inside the uncertainty band are re-checked
+// with the exact float64 arithmetic in the original visit order. The
+// accumulator therefore evolves through exactly the same float64 state
+// transitions as the plain kernels:
+//
+//   - cutoff ρ: bit-identical (each pair's contribution is exactly 0 or 1,
+//     decided either provably from the compact distance or exactly);
+//   - δ (Best2/Up/Max2): bit-identical, including the first-wins tie rule
+//     (a skipped pair provably could not update; an evaluated pair uses the
+//     exact distance);
+//   - Gaussian ρ: within documented tolerance, NOT bit-identical — the
+//     weight exp(−d²/d_c²) varies continuously, so it is computed from the
+//     float64-promoted compact distance (relative error ≤ ~2⁻²⁰·dim on d²).
+//     The accumulation order matches the plain kernel, so results are still
+//     deterministic and engine-independent for a fixed precision setting.
+//
+// Pairs whose compact distance is NaN/+Inf always take the exact re-check.
+
+import (
+	"repro/internal/dp"
+	"repro/internal/points"
+)
+
+// RhoAccumulate32 is the compact-scan counterpart of RhoAccumulate over
+// rows [lo, hi): c must mirror m. Returns the pair count (as RhoAccumulate
+// does) and the number of exact float64 re-checks.
+func RhoAccumulate32(m *points.Matrix, c *points.Matrix32, lo, hi int, k Kernel, rho []float64) (pairs, rechecks int64) {
+	n := hi - lo
+	if n < 2 {
+		return 0, 0
+	}
+	ctx := newRho32Ctx(m, c, k, rho)
+	for ti := lo; ti < hi; ti += tile {
+		tiHi := minInt(ti+tile, hi)
+		ctx.diagTile(ti, tiHi)
+		for tj := tiHi; tj < hi; tj += tile {
+			ctx.crossTile(ti, tiHi, tj, minInt(tj+tile, hi), true)
+		}
+	}
+	return int64(n) * int64(n-1) / 2, ctx.rechecks
+}
+
+// RhoCross32 is the compact-scan counterpart of RhoCross.
+func RhoCross32(m *points.Matrix, c *points.Matrix32, aLo, aHi, bLo, bHi int, k Kernel, rho []float64, both bool) (pairs, rechecks int64) {
+	if aHi <= aLo || bHi <= bLo {
+		return 0, 0
+	}
+	ctx := newRho32Ctx(m, c, k, rho)
+	for ta := aLo; ta < aHi; ta += tile {
+		taHi := minInt(ta+tile, aHi)
+		for tb := bLo; tb < bHi; tb += tile {
+			ctx.crossTile(ta, taHi, tb, minInt(tb+tile, bHi), both)
+		}
+	}
+	return int64(aHi-aLo) * int64(bHi-bLo), ctx.rechecks
+}
+
+// rho32Ctx carries the per-call state of a compact ρ scan.
+type rho32Ctx struct {
+	d64      []float64
+	d32      []float32
+	dim      int
+	k        Kernel
+	rho      []float64
+	cutLo    float64 // d32 < cutLo proves d64 < Dc2 (cutoff weight 1)
+	cutHi    float64 // d32 > cutHi proves d64 ≥ Dc2 (cutoff weight 0)
+	rechecks int64
+}
+
+func newRho32Ctx(m *points.Matrix, c *points.Matrix32, k Kernel, rho []float64) *rho32Ctx {
+	ctx := &rho32Ctx{d64: m.Data(), d32: c.Data(), dim: m.Dim(), k: k, rho: rho}
+	if !k.Gaussian {
+		bnd := F32Bounds(ctx.dim, c.MaxAbs())
+		ctx.cutLo = bnd.LtThresh(k.Dc2)
+		ctx.cutHi = bnd.GeThresh(k.Dc2)
+	}
+	return ctx
+}
+
+// weight resolves one pair's contribution from its compact distance,
+// re-checking exactly when the compact value cannot decide.
+func (ctx *rho32Ctx) weight(d32 float32, i, j int) float64 {
+	df := float64(d32)
+	if ctx.k.Gaussian {
+		if isFinite64(df) {
+			return gaussWeight(df, ctx.k.Dc2)
+		}
+	} else {
+		if df < ctx.cutLo {
+			return 1
+		}
+		if df > ctx.cutHi {
+			return 0
+		}
+	}
+	ctx.rechecks++
+	return ctx.k.Weight(sqDistFlat(ctx.d64[i*ctx.dim:(i+1)*ctx.dim], ctx.d64[j*ctx.dim:(j+1)*ctx.dim], ctx.dim))
+}
+
+func (ctx *rho32Ctx) diagTile(lo, hi int) {
+	d32, dim := ctx.d32, ctx.dim
+	for i := lo; i < hi; i++ {
+		ai := d32[i*dim : (i+1)*dim]
+		for j := i + 1; j < hi; j++ {
+			if w := ctx.weight(sqDist32(ai, d32[j*dim:(j+1)*dim], dim), i, j); w != 0 {
+				ctx.rho[i] += w
+				ctx.rho[j] += w
+			}
+		}
+	}
+}
+
+func (ctx *rho32Ctx) crossTile(aLo, aHi, bLo, bHi int, both bool) {
+	d32, dim := ctx.d32, ctx.dim
+	for a := aLo; a < aHi; a++ {
+		ra := d32[a*dim : (a+1)*dim]
+		for b := bLo; b < bHi; b++ {
+			if w := ctx.weight(sqDist32(ra, d32[b*dim:(b+1)*dim], dim), a, b); w != 0 {
+				ctx.rho[a] += w
+				if both {
+					ctx.rho[b] += w
+				}
+			}
+		}
+	}
+}
+
+// DeltaBand holds per-row skip thresholds for a compact δ scan, kept in
+// lockstep with a DeltaAcc: Thr[x] proves "no Best2[x] improvement" and
+// MaxThr[x] proves "no Max2[x] update" from a compact distance alone.
+type DeltaBand struct {
+	Thr    []float64
+	MaxThr []float64
+	bnd    Bounds
+}
+
+// Reset sizes the band to acc (after acc's own Reset) under bnd.
+func (b *DeltaBand) Reset(acc *DeltaAcc, bnd Bounds) {
+	n := len(acc.Best2)
+	b.bnd = bnd
+	if cap(b.Thr) < n {
+		b.Thr = make([]float64, n)
+	}
+	b.Thr = b.Thr[:n]
+	for i := 0; i < n; i++ {
+		b.Thr[i] = bnd.GeThresh(acc.Best2[i])
+	}
+	if acc.Max2 == nil {
+		b.MaxThr = nil
+		return
+	}
+	if cap(b.MaxThr) < n {
+		b.MaxThr = make([]float64, n)
+	}
+	b.MaxThr = b.MaxThr[:n]
+	for i := 0; i < n; i++ {
+		b.MaxThr[i] = bnd.LtThresh(acc.Max2[i])
+	}
+}
+
+// DeltaArgmin32 is the compact-scan counterpart of DeltaArgmin: c must
+// mirror m, and band must be Reset against acc with this group's bounds
+// (F32Bounds(m.Dim(), c.MaxAbs())). Returns the pair count and the number
+// of exact re-checks.
+func DeltaArgmin32(m *points.Matrix, c *points.Matrix32, lo, hi int, acc *DeltaAcc, band *DeltaBand) (pairs, rechecks int64) {
+	n := hi - lo
+	if n < 2 {
+		return 0, 0
+	}
+	ctx := delta32Ctx{m: m, c: c, acc: acc, band: band}
+	for ti := lo; ti < hi; ti += tile {
+		tiHi := minInt(ti+tile, hi)
+		ctx.tilePairs(ti, tiHi, ti, tiHi, true)
+		for tj := tiHi; tj < hi; tj += tile {
+			ctx.tilePairs(ti, tiHi, tj, minInt(tj+tile, hi), false)
+		}
+	}
+	return int64(n) * int64(n-1) / 2, ctx.rechecks
+}
+
+// DeltaCross32 is the compact-scan counterpart of DeltaCross.
+func DeltaCross32(m *points.Matrix, c *points.Matrix32, aLo, aHi, bLo, bHi int, acc *DeltaAcc, band *DeltaBand) (pairs, rechecks int64) {
+	if aHi <= aLo || bHi <= bLo {
+		return 0, 0
+	}
+	ctx := delta32Ctx{m: m, c: c, acc: acc, band: band}
+	for ta := aLo; ta < aHi; ta += tile {
+		taHi := minInt(ta+tile, aHi)
+		for tb := bLo; tb < bHi; tb += tile {
+			ctx.tilePairs(ta, taHi, tb, minInt(tb+tile, bHi), false)
+		}
+	}
+	return int64(aHi-aLo) * int64(bHi-bLo), ctx.rechecks
+}
+
+type delta32Ctx struct {
+	m        *points.Matrix
+	c        *points.Matrix32
+	acc      *DeltaAcc
+	band     *DeltaBand
+	rechecks int64
+}
+
+// tilePairs visits one tile pair (the diagonal triangle when diag is set).
+// A pair is skipped only when the compact distance proves both that the
+// less-dense side's Best2 cannot improve and (when tracked) that neither
+// side's Max2 can grow; otherwise the exact distance is folded through
+// deltaObserve and the row thresholds refresh.
+func (ctx *delta32Ctx) tilePairs(aLo, aHi, bLo, bHi int, diag bool) {
+	d32, dim := ctx.c.Data(), ctx.c.Dim()
+	d64 := ctx.m.Data()
+	rho, ids := ctx.m.Rhos(), ctx.m.IDs()
+	acc, band := ctx.acc, ctx.band
+	for i := aLo; i < aHi; i++ {
+		ai := d32[i*dim : (i+1)*dim]
+		jLo := bLo
+		if diag {
+			jLo = i + 1
+		}
+		for j := jLo; j < bHi; j++ {
+			df := float64(sqDist32(ai, d32[j*dim:(j+1)*dim], dim))
+			target := j
+			if denserObserved(rho, ids, i, j) {
+				target = i
+			}
+			if df > band.Thr[target] &&
+				(band.MaxThr == nil || (df < band.MaxThr[i] && df < band.MaxThr[j])) {
+				continue
+			}
+			ctx.rechecks++
+			d2 := sqDistFlat(d64[i*dim:(i+1)*dim], d64[j*dim:(j+1)*dim], dim)
+			oldBest := acc.Best2[target]
+			var oldMaxI, oldMaxJ float64
+			if acc.Max2 != nil {
+				oldMaxI, oldMaxJ = acc.Max2[i], acc.Max2[j]
+			}
+			deltaObserve(acc, rho, ids, i, j, d2)
+			if acc.Best2[target] != oldBest {
+				band.Thr[target] = band.bnd.GeThresh(acc.Best2[target])
+			}
+			if acc.Max2 != nil {
+				if acc.Max2[i] != oldMaxI {
+					band.MaxThr[i] = band.bnd.LtThresh(acc.Max2[i])
+				}
+				if acc.Max2[j] != oldMaxJ {
+					band.MaxThr[j] = band.bnd.LtThresh(acc.Max2[j])
+				}
+			}
+		}
+	}
+}
+
+// denserObserved mirrors deltaObserve's density-order test: true when row j
+// is denser than row i (so i is the side whose upslope candidate updates).
+func denserObserved(rho []float64, ids []int32, i, j int) bool {
+	return dp.DenserVals(rho[j], rho[i], ids[j], ids[i])
+}
+
+func isFinite64(v float64) bool { return v-v == 0 }

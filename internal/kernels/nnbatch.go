@@ -1,0 +1,52 @@
+package kernels
+
+// NNBatch is the multi-query exact NN scan used by the serving path's
+// micro-batcher: one pass over each row tile serves every query in the
+// batch, so the model's coordinate block streams through the cache once per
+// tile instead of once per query. Per query the rows are still visited in
+// ascending order with the same arithmetic as NNRange, so each (best,
+// best2) result is bit-identical to a standalone NNRange call.
+
+// nnTile is the row-tile edge of the batched scans. 128 rows of an
+// 8-dimensional float64 block are 8 KiB — resident in L1 while the whole
+// query batch runs over them.
+const nnTile = 128
+
+// NNBatch scans rows [lo, hi) of data (rows of length dim) for every query
+// in qs (flat, len(best)*dim) and writes the nearest row index and squared
+// distance into best/best2 (len = number of queries). Each query's result
+// is bit-identical to NNRange(data, dim, q, lo, hi), including (-1, +Inf)
+// when no row has a finite distance.
+func NNBatch(data []float64, dim int, qs []float64, lo, hi int, best []int32, best2 []float64) {
+	nq := len(best)
+	for i := 0; i < nq; i++ {
+		best[i], best2[i] = -1, inf
+	}
+	for t := lo; t < hi; t += nnTile {
+		tHi := minInt(t+nnTile, hi)
+		for qi := 0; qi < nq; qi++ {
+			b, b2 := int(best[qi]), best2[qi]
+			if dim == 2 {
+				qx, qy := qs[2*qi], qs[2*qi+1]
+				for i := t; i < tHi; i++ {
+					d0 := qx - data[2*i]
+					d1 := qy - data[2*i+1]
+					d2 := d0 * d0
+					d2 += d1 * d1
+					if d2 < b2 {
+						b, b2 = i, d2
+					}
+				}
+			} else {
+				q := qs[qi*dim : (qi+1)*dim]
+				for i := t; i < tHi; i++ {
+					d2 := sqDistFlat(q, data[i*dim:(i+1)*dim], dim)
+					if d2 < b2 {
+						b, b2 = i, d2
+					}
+				}
+			}
+			best[qi], best2[qi] = int32(b), b2
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 
 	"repro/internal/lsh"
@@ -82,6 +83,41 @@ type Model struct {
 	// entries). All-zero when the training run skipped halo detection, in
 	// which case no served point is flagged halo.
 	Border []float64
+
+	// Optional compact mirrors of Data for the bandwidth-lean scan path
+	// (serve.scan.precision f32/q8). Either may be empty — the serving
+	// engine derives missing mirrors from Data — and old readers skip
+	// their sections. Data stays the source of truth: compact scans
+	// re-rank against it, so these only need to satisfy the points
+	// package's conversion/quantization contracts.
+
+	// Data32 is the float32 mirror of Data (same layout), or empty.
+	Data32 []float32
+	// Q8Codes is the 8-bit per-dimension affine quantization of Data
+	// (same layout, one byte per coordinate), or empty. When present,
+	// Q8Min/Q8Scale hold the per-dimension code parameters (Dim entries
+	// each; see points.Q8Params).
+	Q8Codes []uint8
+	Q8Min   []float64
+	Q8Scale []float64
+}
+
+// Q8Params returns the quantization parameters as the points package type.
+func (m *Model) Q8Params() points.Q8Params {
+	return points.Q8Params{Min: m.Q8Min, Scale: m.Q8Scale}
+}
+
+// BuildCompact populates the compact mirrors from Data: always the float32
+// mirror, and the q8 code when the data is finitely quantizable (non-finite
+// coordinates or an overflowing per-dimension spread leave Q8Codes empty).
+func (m *Model) BuildCompact() {
+	m.Data32, _ = points.ToFloat32(m.Data)
+	codes, par, ok := points.QuantizeQ8(m.Data, m.Dim)
+	if !ok {
+		m.Q8Codes, m.Q8Min, m.Q8Scale = nil, nil, nil
+		return
+	}
+	m.Q8Codes, m.Q8Min, m.Q8Scale = codes, par.Min, par.Scale
 }
 
 // N returns the number of stored points.
@@ -141,17 +177,36 @@ func (m *Model) Validate() error {
 	if m.LSH.M > 0 && (m.LSH.Pi <= 0 || m.LSH.W <= 0) {
 		return fmt.Errorf("model: LSH params M=%d pi=%d w=%v are inconsistent", m.LSH.M, m.LSH.Pi, m.LSH.W)
 	}
+	if len(m.Data32) != 0 && len(m.Data32) != n*m.Dim {
+		return fmt.Errorf("model: %d float32 mirror coordinates for %d points of dim %d", len(m.Data32), n, m.Dim)
+	}
+	if len(m.Q8Codes) != 0 {
+		if len(m.Q8Codes) != n*m.Dim {
+			return fmt.Errorf("model: %d q8 codes for %d points of dim %d", len(m.Q8Codes), n, m.Dim)
+		}
+		if !m.Q8Params().Valid(m.Dim) {
+			return fmt.Errorf("model: q8 quantization parameters are invalid for dim %d", m.Dim)
+		}
+	} else if len(m.Q8Min) != 0 || len(m.Q8Scale) != 0 {
+		return fmt.Errorf("model: q8 parameters without q8 codes")
+	}
 	return nil
 }
 
-// Section names of the framed body.
+// Section names of the framed body. The compact sections (points32,
+// q8codes, q8params) are optional additions of the same format version:
+// readers that predate them fall through the unknown-section skip, and the
+// body CRC covers them like everything else.
 const (
-	secMeta   = "meta"
-	secPoints = "points"
-	secRho    = "rho"
-	secLabels = "labels"
-	secPeaks  = "peaks"
-	secBorder = "border"
+	secMeta     = "meta"
+	secPoints   = "points"
+	secRho      = "rho"
+	secLabels   = "labels"
+	secPeaks    = "peaks"
+	secBorder   = "border"
+	secPoints32 = "points32"
+	secQ8Codes  = "q8codes"
+	secQ8Params = "q8params" // Dim mins then Dim scales, f64 each
 )
 
 // Encode serializes the model: header (magic, version, CRC32-C, body
@@ -166,6 +221,15 @@ func (m *Model) Encode() ([]byte, error) {
 	body = mapreduce.AppendFrame(body, mapreduce.Pair{Key: secLabels, Value: encodeInt32s(m.Labels)})
 	body = mapreduce.AppendFrame(body, mapreduce.Pair{Key: secPeaks, Value: encodeInt32s(m.Peaks)})
 	body = mapreduce.AppendFrame(body, mapreduce.Pair{Key: secBorder, Value: encodeFloats(m.Border)})
+	if len(m.Data32) != 0 {
+		body = mapreduce.AppendFrame(body, mapreduce.Pair{Key: secPoints32, Value: encodeFloat32s(m.Data32)})
+	}
+	if len(m.Q8Codes) != 0 {
+		body = mapreduce.AppendFrame(body, mapreduce.Pair{Key: secQ8Codes, Value: m.Q8Codes})
+		params := encodeFloats(m.Q8Min)
+		params = append(params, encodeFloats(m.Q8Scale)...)
+		body = mapreduce.AppendFrame(body, mapreduce.Pair{Key: secQ8Params, Value: params})
+	}
 
 	out := make([]byte, 0, headerLen+len(body))
 	out = append(out, magic...)
@@ -217,6 +281,17 @@ func Decode(data []byte) (*Model, error) {
 			m.Peaks = decodeInt32s(f.Value)
 		case secBorder:
 			m.Border = decodeFloats(f.Value)
+		case secPoints32:
+			m.Data32 = decodeFloat32s(f.Value)
+		case secQ8Codes:
+			m.Q8Codes = append([]uint8(nil), f.Value...)
+		case secQ8Params:
+			params := decodeFloats(f.Value)
+			if len(params)%2 != 0 {
+				return nil, fmt.Errorf("model: q8params section holds %d values, want an even count", len(params))
+			}
+			m.Q8Min = params[:len(params)/2]
+			m.Q8Scale = params[len(params)/2:]
 		default:
 			// Unknown section: written by a newer minor revision, skip.
 		}
@@ -264,6 +339,22 @@ func decodeFloats(v []byte) []float64 {
 	xs := make([]float64, len(v)/8)
 	for i := range xs {
 		xs[i] = points.DecodeFloat64(v[8*i:])
+	}
+	return xs
+}
+
+func encodeFloat32s(xs []float32) []byte {
+	buf := make([]byte, 0, 4*len(xs))
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
+	}
+	return buf
+}
+
+func decodeFloat32s(v []byte) []float32 {
+	xs := make([]float32, len(v)/4)
+	for i := range xs {
+		xs[i] = math.Float32frombits(binary.LittleEndian.Uint32(v[4*i:]))
 	}
 	return xs
 }

@@ -13,6 +13,15 @@
 // engine falls back to an exact full scan, so an answer is always returned
 // and is always the label of some stored point.
 //
+// Scans run at a configurable precision (serve.scan.precision): f64 streams
+// the float64 block directly; f32 and q8 stream a compact mirror (half or
+// an eighth of the bytes), collect a provably sufficient shortlist, and
+// re-rank it exactly in float64 (internal/kernels compact scan path), so
+// labels, NN indices, distances, and the tie rule are bit-identical across
+// precisions. Micro-batches additionally run their exact scans through the
+// multi-query NNBatch kernels: one pass over each row tile serves the whole
+// batch.
+//
 // The HTTP server in server.go fronts the engine with micro-batching of
 // concurrent requests, a bounded admission queue with load shedding,
 // latency histograms, health/stats endpoints, hot model reload, and
@@ -48,6 +57,58 @@ type Assignment struct {
 	Exact bool `json:"exact"`
 }
 
+// Precision selects the scan representation of the serving engine.
+type Precision uint8
+
+const (
+	// PrecF64 scans the float64 block directly (the exact baseline).
+	PrecF64 Precision = iota
+	// PrecF32 scans a float32 mirror and re-ranks the shortlist exactly.
+	PrecF32
+	// PrecQ8 scans 8-bit quantized codes via a per-query lookup table and
+	// re-ranks the shortlist exactly.
+	PrecQ8
+)
+
+// ParsePrecision parses a serve.scan.precision value ("" means f64).
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", kernels.ScanF64:
+		return PrecF64, nil
+	case kernels.ScanF32:
+		return PrecF32, nil
+	case kernels.ScanQ8:
+		return PrecQ8, nil
+	}
+	return PrecF64, fmt.Errorf("serve: unknown scan precision %q (want f64, f32, or q8)", s)
+}
+
+// String returns the knob spelling of p.
+func (p Precision) String() string {
+	switch p {
+	case PrecF32:
+		return kernels.ScanF32
+	case PrecQ8:
+		return kernels.ScanQ8
+	}
+	return kernels.ScanF64
+}
+
+// ScanStats aggregates the scan work of one AssignBatch call.
+type ScanStats struct {
+	// Scanned counts stored rows whose (compact or exact) distance to a
+	// query was evaluated.
+	Scanned int64
+	// Rerank counts shortlist rows re-ranked in exact float64 after a
+	// compact scan (0 at PrecF64).
+	Rerank int64
+	// RerankQueries counts queries whose nearest neighbor came out of a
+	// compact scan + exact re-rank (0 at PrecF64).
+	RerankQueries int64
+	// ExactQueries counts queries answered by the exact full-scan path.
+	ExactQueries int64
+}
+
 // Engine answers queries against one immutable model. It is safe for
 // concurrent use; the server swaps the whole engine on hot reload.
 type Engine struct {
@@ -56,27 +117,60 @@ type Engine struct {
 	// buckets maps a layout-prefixed LSH key ("m|k1.k2...") to the rows
 	// stored under it, in ascending row order.
 	buckets map[string][]int32
-	// scratch pools per-query candidate state sized to this model.
+
+	// prec is the effective scan precision: the requested one, or PrecF64
+	// when the model data cannot support the compact representation (e.g.
+	// unquantizable coordinates).
+	prec   Precision
+	data32 []float32         // float32 mirror (PrecF32)
+	maxAbs float64           // largest |coordinate| of the model data
+	q8     []uint8           // quantized codes (PrecQ8)
+	q8par  points.Q8Params   // their per-dimension affine parameters
+	q8bnd  kernels.Bounds    // query-independent q8 scan bounds
+
+	// scratch pools per-query candidate state sized to this model;
+	// batches pools per-batch scan state.
 	scratch sync.Pool
+	batches sync.Pool
 }
 
-// scratch is the reusable per-query candidate-dedup state.
+// scratch is the reusable per-query candidate-dedup and compact-scan state.
 type scratch struct {
 	stamp []int32 // per-row epoch marks
 	epoch int32
 	cand  []int32
+	q32   []float32
+	sl    kernels.Shortlist
+	lut   kernels.Q8LUT
 }
 
-// NewEngine indexes a model for serving. With LSH parameters present the
-// index holds M buckets per stored point; a model exported without LSH
-// (M == 0) serves through exact scans only.
-func NewEngine(m *model.Model) (*Engine, error) {
+// batchScratch is the reusable per-batch exact-scan state.
+type batchScratch struct {
+	pending []int32 // query indices still needing the exact scan
+	flat    []float64
+	flat32  []float32
+	best    []int32
+	best2   []float64
+	sls     []kernels.Shortlist
+	luts    []kernels.Q8LUT
+}
+
+// NewEngine indexes a model for serving at the requested scan precision.
+// With LSH parameters present the index holds M buckets per stored point; a
+// model exported without LSH (M == 0) serves through exact scans only.
+// When the model cannot support the requested compact representation the
+// engine silently serves at f64 — check Precision() for the effective
+// setting. Results are identical either way.
+func NewEngine(m *model.Model, prec Precision) (*Engine, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	e := &Engine{m: m, layouts: m.Layouts()}
+	e.maxAbs = maxAbsOf(m.Data)
+	e.prec = e.setupCompact(prec)
 	n := m.N()
 	e.scratch.New = func() any { return &scratch{stamp: make([]int32, n)} }
+	e.batches.New = func() any { return new(batchScratch) }
 	if e.layouts == nil {
 		return e, nil
 	}
@@ -89,6 +183,51 @@ func NewEngine(m *model.Model) (*Engine, error) {
 	return e, nil
 }
 
+// setupCompact derives (or adopts from the model artifact) the compact
+// representation for the requested precision, returning the effective one.
+func (e *Engine) setupCompact(prec Precision) Precision {
+	m := e.m
+	switch prec {
+	case PrecF32:
+		if !kernels.F32Bounds(m.Dim, e.maxAbs).Valid() {
+			return PrecF64
+		}
+		if len(m.Data32) == len(m.Data) {
+			e.data32 = m.Data32
+		} else {
+			e.data32, _ = points.ToFloat32(m.Data)
+		}
+		return PrecF32
+	case PrecQ8:
+		if len(m.Q8Codes) == len(m.Data) && m.Q8Params().Valid(m.Dim) {
+			e.q8, e.q8par = m.Q8Codes, m.Q8Params()
+		} else {
+			codes, par, ok := points.QuantizeQ8(m.Data, m.Dim)
+			if !ok {
+				return PrecF64
+			}
+			e.q8, e.q8par = codes, par
+		}
+		e.q8bnd = kernels.Q8Bounds(m.Dim, e.q8par.ErrBound())
+		if !e.q8bnd.Valid() {
+			e.q8, e.q8par = nil, points.Q8Params{}
+			return PrecF64
+		}
+		return PrecQ8
+	}
+	return PrecF64
+}
+
+func maxAbsOf(xs []float64) float64 {
+	var m float64
+	for _, v := range xs {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
 // Model returns the engine's model.
 func (e *Engine) Model() *model.Model { return e.m }
 
@@ -98,6 +237,9 @@ func (e *Engine) Buckets() int { return len(e.buckets) }
 // Pruned reports whether the engine carries an LSH index.
 func (e *Engine) Pruned() bool { return e.layouts != nil }
 
+// Precision returns the effective scan precision.
+func (e *Engine) Precision() Precision { return e.prec }
+
 // MaxCoord returns the largest coordinate magnitude a dim-dimensional
 // query may carry: with every coordinate of the query and the stored
 // points bounded by it, no squared distance can overflow to +Inf. The
@@ -106,62 +248,183 @@ func MaxCoord(dim int) float64 {
 	return math.Sqrt(math.MaxFloat64/float64(dim)) / 2
 }
 
+// errNoFinite is returned when no stored point has a finite distance to a
+// query (overflowing or non-finite coordinates); no assignment exists then.
+func errNoFinite() error {
+	return fmt.Errorf("serve: no finite distance from query to any stored point (coordinates non-finite or too large)")
+}
+
 // Assign answers one query. exactOnly forces the full-scan path (the
 // pruned-vs-exact benchmark switch). scanned is the number of stored rows
 // whose distance to the query was evaluated. An error means no stored
-// point had a finite distance to the query (overflowing or non-finite
-// coordinates); no assignment exists in that case.
+// point had a finite distance to the query; no assignment exists in that
+// case.
 func (e *Engine) Assign(q points.Vector, exactOnly bool) (Assignment, int, error) {
-	if len(q) != e.m.Dim {
-		// Callers validate dimensionality at the API boundary; this is a
-		// programming error, not a data error.
-		panic(fmt.Sprintf("serve: query dim %d, model dim %d", len(q), e.m.Dim))
+	out, errs, st := e.AssignBatch([]points.Vector{q}, exactOnly)
+	return out[0], int(st.Scanned), errs[0]
+}
+
+// AssignBatch answers a micro-batch of queries, running every exact full
+// scan in the batch through the multi-query NN kernels (one pass over each
+// row tile serves all of them). Results and errors are per query: one
+// query without a finite distance fails alone, not the batch. Every query
+// must already match the model's dimensionality (the server validates at
+// admission; a mismatch is a programming error and panics, as Assign
+// always has).
+func (e *Engine) AssignBatch(qs []points.Vector, exactOnly bool) ([]Assignment, []error, ScanStats) {
+	nq := len(qs)
+	out := make([]Assignment, nq)
+	errs := make([]error, nq)
+	var st ScanStats
+	for _, q := range qs {
+		if len(q) != e.m.Dim {
+			panic(fmt.Sprintf("serve: query dim %d, model dim %d", len(q), e.m.Dim))
+		}
 	}
-	best := -1
-	var best2 float64
-	exact := exactOnly || e.layouts == nil
-	scanned := 0
-	if !exact {
+	bs := e.batches.Get().(*batchScratch)
+	bs.pending = bs.pending[:0]
+	if exactOnly || e.layouts == nil {
+		for i := range qs {
+			bs.pending = append(bs.pending, int32(i))
+		}
+	} else {
 		s := e.scratch.Get().(*scratch)
-		s.epoch++
-		if s.epoch <= 0 { // epoch wrapped: invalidate all stamps
-			for i := range s.stamp {
-				s.stamp[i] = 0
+		for i, q := range qs {
+			cand := e.candidates(q, s)
+			if len(cand) == 0 {
+				bs.pending = append(bs.pending, int32(i))
+				continue
 			}
-			s.epoch = 1
-		}
-		s.cand = s.cand[:0]
-		for _, key := range e.layouts.Keys(q) {
-			for _, r := range e.buckets[key] {
-				if s.stamp[r] != s.epoch {
-					s.stamp[r] = s.epoch
-					s.cand = append(s.cand, r)
-				}
+			best, best2, rerank := e.nnRows(q, cand, s)
+			st.Scanned += int64(len(cand))
+			st.Rerank += int64(rerank)
+			if e.prec != PrecF64 {
+				st.RerankQueries++
 			}
-		}
-		if len(s.cand) == 0 {
-			exact = true
-		} else {
-			best, best2 = kernels.NNRows(e.m.Data, e.m.Dim, q, s.cand)
-			scanned = len(s.cand)
 			if best < 0 {
 				// Every candidate distance overflowed to +Inf; the full
 				// scan may still find a finite one.
-				exact = true
+				bs.pending = append(bs.pending, int32(i))
+				continue
 			}
+			out[i] = e.finalize(q, best, best2, false)
 		}
 		e.scratch.Put(s)
 	}
-	if exact {
-		best, best2 = kernels.NNRange(e.m.Data, e.m.Dim, q, 0, e.m.N())
-		scanned = e.m.N()
+	if len(bs.pending) > 0 {
+		st.ExactQueries += int64(len(bs.pending))
+		e.exactBatch(qs, bs, out, errs, &st)
 	}
-	if best < 0 {
-		// All squared distances overflowed to +Inf (the NN kernels start
-		// at +Inf with a strict < comparison), so no nearest point exists.
-		// Return an error rather than indexing Labels[-1].
-		return Assignment{}, scanned, fmt.Errorf("serve: no finite distance from query to any stored point (coordinates non-finite or too large)")
+	e.batches.Put(bs)
+	return out, errs, st
+}
+
+// candidates gathers the deduplicated LSH bucket union of q into s.cand.
+func (e *Engine) candidates(q points.Vector, s *scratch) []int32 {
+	s.epoch++
+	if s.epoch <= 0 { // epoch wrapped: invalidate all stamps
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
 	}
+	s.cand = s.cand[:0]
+	for _, key := range e.layouts.Keys(q) {
+		for _, r := range e.buckets[key] {
+			if s.stamp[r] != s.epoch {
+				s.stamp[r] = s.epoch
+				s.cand = append(s.cand, r)
+			}
+		}
+	}
+	return s.cand
+}
+
+// nnRows scans the candidate rows at the engine's precision: directly at
+// f64, or compact-scan + exact float64 re-rank of the shortlist otherwise.
+// rerank is the shortlist size (0 at f64). Results are bit-identical
+// across precisions.
+func (e *Engine) nnRows(q points.Vector, cand []int32, s *scratch) (best int, best2 float64, rerank int) {
+	dim := e.m.Dim
+	switch e.prec {
+	case PrecF32:
+		s.q32 = f32Append(s.q32[:0], q)
+		s.sl.Reset(e.f32Bounds(q))
+		kernels.NNRows32(e.data32, dim, s.q32, cand, &s.sl)
+	case PrecQ8:
+		kernels.BuildQ8LUT(e.q8par, q, &s.lut)
+		s.sl.Reset(e.q8bnd)
+		kernels.NNRowsQ8(e.q8, dim, &s.lut, cand, &s.sl)
+	default:
+		b, b2 := kernels.NNRows(e.m.Data, dim, q, cand)
+		return b, b2, 0
+	}
+	short := s.sl.Finish()
+	b, b2 := kernels.NNRows(e.m.Data, dim, q, short)
+	return b, b2, len(short)
+}
+
+// exactBatch answers bs.pending through the batched exact-scan kernels.
+func (e *Engine) exactBatch(qs []points.Vector, bs *batchScratch, out []Assignment, errs []error, st *ScanStats) {
+	dim, n := e.m.Dim, e.m.N()
+	np := len(bs.pending)
+	bs.flat = bs.flat[:0]
+	for _, qi := range bs.pending {
+		bs.flat = append(bs.flat, qs[qi]...)
+	}
+	bs.best = intsN(bs.best, np)
+	bs.best2 = floatsN(bs.best2, np)
+	st.Scanned += int64(n) * int64(np)
+	switch e.prec {
+	case PrecF32:
+		bs.flat32 = f32Append(bs.flat32[:0], bs.flat)
+		bnd := e.f32Bounds(bs.flat)
+		bs.sls = slsN(bs.sls, np)
+		for i := range bs.sls {
+			bs.sls[i].Reset(bnd)
+		}
+		kernels.NNBatch32(e.data32, dim, bs.flat32, 0, n, bs.sls)
+		e.rerankBatch(qs, bs, st)
+	case PrecQ8:
+		bs.sls = slsN(bs.sls, np)
+		bs.luts = lutsN(bs.luts, np)
+		for i, qi := range bs.pending {
+			kernels.BuildQ8LUT(e.q8par, qs[qi], &bs.luts[i])
+			bs.sls[i].Reset(e.q8bnd)
+		}
+		kernels.NNBatchQ8(e.q8, dim, bs.luts, 0, n, bs.sls)
+		e.rerankBatch(qs, bs, st)
+	default:
+		kernels.NNBatch(e.m.Data, dim, bs.flat, 0, n, bs.best, bs.best2)
+	}
+	for i, qi := range bs.pending {
+		if bs.best[i] < 0 {
+			errs[qi] = errNoFinite()
+			continue
+		}
+		out[qi] = e.finalize(qs[qi], int(bs.best[i]), bs.best2[i], true)
+	}
+}
+
+// rerankBatch resolves each pending query's shortlist exactly in float64.
+func (e *Engine) rerankBatch(qs []points.Vector, bs *batchScratch, st *ScanStats) {
+	for i, qi := range bs.pending {
+		short := bs.sls[i].Finish()
+		st.Rerank += int64(len(short))
+		st.RerankQueries++
+		b, b2 := kernels.NNRows(e.m.Data, e.m.Dim, qs[qi], short)
+		bs.best[i], bs.best2[i] = int32(b), b2
+	}
+}
+
+// f32Bounds builds the f32 scan bounds for query coordinates quals (any
+// flat slice of them), folding their magnitude into the model-wide one.
+func (e *Engine) f32Bounds(quals []float64) kernels.Bounds {
+	return kernels.F32Bounds(e.m.Dim, math.Max(e.maxAbs, maxAbsOf(quals)))
+}
+
+// finalize builds the Assignment once the nearest stored row is known.
+func (e *Engine) finalize(q points.Vector, best int, best2 float64, exact bool) Assignment {
 	cluster := e.m.Labels[best]
 	peak := e.m.Peaks[cluster]
 	return Assignment{
@@ -171,5 +434,44 @@ func (e *Engine) Assign(q points.Vector, exactOnly bool) (Assignment, int, error
 		Dist:     math.Sqrt(best2),
 		PeakDist: points.Dist(q, e.m.Row(int(peak))),
 		Exact:    exact,
-	}, scanned, nil
+	}
+}
+
+func f32Append(dst []float32, src []float64) []float32 {
+	for _, v := range src {
+		dst = append(dst, float32(v))
+	}
+	return dst
+}
+
+func intsN(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func floatsN(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func slsN(s []kernels.Shortlist, n int) []kernels.Shortlist {
+	if cap(s) < n {
+		ns := make([]kernels.Shortlist, n)
+		copy(ns, s[:cap(s)])
+		return ns
+	}
+	return s[:n]
+}
+
+func lutsN(s []kernels.Q8LUT, n int) []kernels.Q8LUT {
+	if cap(s) < n {
+		ns := make([]kernels.Q8LUT, n)
+		copy(ns, s[:cap(s)])
+		return ns
+	}
+	return s[:n]
 }

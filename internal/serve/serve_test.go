@@ -136,7 +136,7 @@ func TestServingConformance(t *testing.T) {
 // closer-looking answer than the exact scan (it scans a subset).
 func TestEnginePrunedVsExact(t *testing.T) {
 	mdl, _, _ := trainModel(t, 1500, 4)
-	eng, err := serve.NewEngine(mdl)
+	eng, err := serve.NewEngine(mdl, serve.PrecF64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,12 +194,14 @@ func smallModel(name string) *model.Model {
 // overflows to +Inf must produce an error (HTTP 400 at admission, an
 // engine error if it slips past) — never a panic that kills the daemon.
 func TestOverflowQuery(t *testing.T) {
-	eng, err := serve.NewEngine(smallModel("overflow"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, _, err := eng.Assign([]float64{1e200, 1e200}, false); err == nil {
-		t.Error("engine: overflowing query returned no error")
+	for _, prec := range []serve.Precision{serve.PrecF64, serve.PrecF32, serve.PrecQ8} {
+		eng, err := serve.NewEngine(smallModel("overflow"), prec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := eng.Assign([]float64{1e200, 1e200}, false); err == nil {
+			t.Errorf("engine(%s): overflowing query returned no error", prec)
+		}
 	}
 
 	srv := serve.New(serve.Config{})

@@ -34,6 +34,13 @@ const (
 	// CtrCandidates counts stored rows scanned across all queries; divide
 	// by CtrPoints for the average pruned candidate-set size.
 	CtrCandidates = "serve.candidates"
+	// CtrRerankRows counts shortlist rows re-ranked in exact float64 after
+	// a compact (f32/q8) scan; divide by CtrRerankQueries for the average
+	// shortlist size. Zero when serving at f64.
+	CtrRerankRows = "serve.rerank.rows"
+	// CtrRerankQueries counts queries whose nearest neighbor came out of a
+	// compact scan + exact re-rank.
+	CtrRerankQueries = "serve.rerank.queries"
 	// CtrReloads counts successful hot model reloads.
 	CtrReloads = "serve.reloads"
 )
@@ -61,6 +68,13 @@ type Config struct {
 	// ExactOnly disables LSH pruning and answers every query by full scan
 	// (the benchmark baseline).
 	ExactOnly bool
+	// Precision selects the scan representation ("", "f64", "f32", "q8" —
+	// the serve.scan.precision knob). Compact precisions scan a smaller
+	// mirror of the stored points and re-rank exactly in float64, so
+	// results are identical at every setting. SetModel rejects unknown
+	// values; a model that cannot support the requested representation
+	// serves at f64.
+	Precision string
 	// Loader, when set, supplies a fresh model for Reload (SIGHUP or
 	// POST /reload).
 	Loader func() (*model.Model, error)
@@ -153,14 +167,27 @@ func New(cfg Config) *Server {
 // SetModel indexes m and swaps it in atomically; in-flight batches finish
 // against the engine they loaded.
 func (s *Server) SetModel(m *model.Model) error {
-	eng, err := NewEngine(m)
+	prec, err := ParsePrecision(s.cfg.Precision)
 	if err != nil {
 		return err
 	}
-	s.engine.Store(eng)
-	s.logf("serve: model %q loaded: %d points dim %d, %d clusters, %d LSH buckets (M=%d pi=%d w=%.4g)",
-		m.Name, m.N(), m.Dim, m.NumClusters(), eng.Buckets(), m.LSH.M, m.LSH.Pi, m.LSH.W)
+	eng, err := NewEngine(m, prec)
+	if err != nil {
+		return err
+	}
+	s.UseEngine(eng)
 	return nil
+}
+
+// UseEngine swaps in an already-indexed engine; in-flight batches finish
+// against the engine they loaded. Lets several servers (or a benchmark
+// harness sweeping configurations) share one index instead of re-bucketing
+// the model per server.
+func (s *Server) UseEngine(eng *Engine) {
+	s.engine.Store(eng)
+	m := eng.Model()
+	s.logf("serve: model %q loaded: %d points dim %d, %d clusters, %d LSH buckets (M=%d pi=%d w=%.4g), scan=%s",
+		m.Name, m.N(), m.Dim, m.NumClusters(), eng.Buckets(), m.LSH.M, m.LSH.Pi, m.LSH.W, eng.Precision())
 }
 
 // Reload fetches a fresh model through cfg.Loader and swaps it in — the
@@ -302,53 +329,77 @@ func (s *Server) process(batch []*request) {
 	batchStart := time.Now()
 	id := int(s.batchID.Add(1))
 
-	run := func(r *request) {
-		if eng == nil {
-			r.err = fmt.Errorf("serve: no model loaded")
+	// runShard answers a group of requests through one AssignBatch call, so
+	// every exact full scan in the shard shares each row-tile pass.
+	runShard := func(shard []*request) {
+		var qs []points.Vector
+		live := make([]*request, 0, len(shard))
+		for _, r := range shard {
+			if eng == nil {
+				r.err = fmt.Errorf("serve: no model loaded")
+				continue
+			}
+			bad := false
+			for _, q := range r.qs {
+				if len(q) != eng.m.Dim {
+					// The admission-time check ran against a different engine
+					// (hot reload changed the dimensionality mid-flight).
+					r.err = fmt.Errorf("serve: query dim %d, model dim %d", len(q), eng.m.Dim)
+					bad = true
+					break
+				}
+			}
+			if bad {
+				continue
+			}
+			live = append(live, r)
+			qs = append(qs, r.qs...)
+		}
+		if len(qs) == 0 {
 			return
 		}
-		r.out = make([]Assignment, len(r.qs))
-		var scanned, exact int64
-		for i, q := range r.qs {
-			if len(q) != eng.m.Dim {
-				// The admission-time check ran against a different engine
-				// (hot reload changed the dimensionality mid-flight).
-				r.err = fmt.Errorf("serve: query dim %d, model dim %d", len(q), eng.m.Dim)
-				return
+		out, errs, st := eng.AssignBatch(qs, s.cfg.ExactOnly)
+		off := 0
+		for _, r := range live {
+			n := len(r.qs)
+			r.out = out[off : off+n]
+			for _, err := range errs[off : off+n] {
+				if err != nil {
+					r.err = err
+					break
+				}
 			}
-			a, sc, err := eng.Assign(q, s.cfg.ExactOnly)
-			if err != nil {
-				r.err = err
-				return
-			}
-			r.out[i] = a
-			scanned += int64(sc)
-			if a.Exact {
-				exact++
-			}
+			// Amortized share of the shard's scan work: batched exact scans
+			// share tile passes, so per-request row counts are pro-rated.
+			r.scanned = st.Scanned * int64(n) / int64(len(qs))
+			off += n
 		}
-		r.scanned = scanned
-		s.counters.Add(CtrCandidates, scanned)
-		s.counters.Add(CtrExactScans, exact)
+		s.counters.Add(CtrCandidates, st.Scanned)
+		s.counters.Add(CtrExactScans, st.ExactQueries)
+		s.counters.Add(CtrRerankRows, st.Rerank)
+		s.counters.Add(CtrRerankQueries, st.RerankQueries)
 	}
 
 	if w := s.cfg.workers(); w > 1 && len(batch) > 1 {
+		// Split the batch into up to Workers contiguous request shards
+		// processed concurrently; each shard still batches its own scans.
+		shards := w
+		if shards > len(batch) {
+			shards = len(batch)
+		}
 		var wg sync.WaitGroup
-		sem := make(chan struct{}, w)
-		for _, r := range batch {
+		for i := 0; i < shards; i++ {
+			lo := i * len(batch) / shards
+			hi := (i + 1) * len(batch) / shards
 			wg.Add(1)
-			sem <- struct{}{}
-			go func(r *request) {
+			go func(sh []*request) {
 				defer wg.Done()
-				run(r)
-				<-sem
-			}(r)
+				runShard(sh)
+			}(batch[lo:hi])
 		}
 		wg.Wait()
 	} else {
-		for _, r := range batch {
-			run(r)
-		}
+		runShard(batch)
 	}
 
 	var spans []obs.Span
@@ -485,6 +536,9 @@ type ModelInfo struct {
 	M        int     `json:"lsh_m"`
 	Pi       int     `json:"lsh_pi"`
 	W        float64 `json:"lsh_w"`
+	// Precision is the effective scan precision (may be "f64" even when
+	// serve.scan.precision asked for a compact one the model cannot carry).
+	Precision string `json:"precision"`
 }
 
 // LatencyInfo carries the request-latency histogram quantiles (µs).
@@ -519,6 +573,7 @@ func (s *Server) Stats() Statsz {
 		st.Model = &ModelInfo{
 			Name: m.Name, N: m.N(), Dim: m.Dim, Clusters: m.NumClusters(),
 			Buckets: eng.Buckets(), M: m.LSH.M, Pi: m.LSH.Pi, W: m.LSH.W,
+			Precision: eng.Precision().String(),
 		}
 	}
 	return st
