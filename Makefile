@@ -2,15 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet doccheck race bench bench-hot bench-scan bench-scan-smoke bench-shuffle bench-serve bench-dag bench-dag-smoke experiments examples clean
+.PHONY: all check build test test-short vet doccheck race bench bench-hot bench-scan bench-scan-smoke bench-shuffle bench-serve bench-fleet bench-fleet-smoke bench-dag bench-dag-smoke experiments examples clean
 
 all: check
 
 # The full gate: compile everything, vet, enforce package docs, run the
 # test suite, re-run the concurrency-heavy packages under the race
-# detector, and smoke the DAG scheduler's cache-reuse win plus the compact
-# scan kernels.
-check: build vet doccheck test race bench-dag-smoke bench-scan-smoke
+# detector, and smoke the DAG scheduler's cache-reuse win, the compact
+# scan kernels, and the sharded-fleet serving path.
+check: build vet doccheck test race bench-dag-smoke bench-scan-smoke bench-fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -31,11 +31,12 @@ test-short:
 # The engines are the concurrency-heavy core; keep them race-clean. The
 # kernels package rides along for its intra-partition parallel merge path,
 # dfs/chaos for the heartbeat + re-replication machinery and its harness,
-# serve/model for the query server's batching, shedding, and hot reload.
+# serve/model for the query server's batching, shedding, and hot reload,
+# fleet for the router's scatter-gather, hedging, and liveness prober.
 # ./internal/mapreduce/... recursively covers the dag scheduler package,
 # whose concurrent node dispatch is the newest race surface.
 race:
-	$(GO) test -race ./internal/mapreduce/... ./internal/mapreduce/rpcmr/... ./internal/kernels/... ./internal/points/... ./internal/dfs/... ./internal/chaos/... ./internal/serve/... ./internal/model/...
+	$(GO) test -race ./internal/mapreduce/... ./internal/mapreduce/rpcmr/... ./internal/kernels/... ./internal/points/... ./internal/dfs/... ./internal/chaos/... ./internal/serve/... ./internal/model/... ./internal/fleet/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -85,6 +86,37 @@ SERVE_PRECISIONS ?= f64,f32,q8
 bench-serve:
 	$(GO) run ./cmd/serveload -self -n $(SERVE_N) -dim $(SERVE_DIM) -clients 1,8,64 \
 		-queue 32 -duration 3s -precisions $(SERVE_PRECISIONS) -json
+
+# Sharded-fleet benchmark: partition one in-process model across shard
+# fleets of each size, front them with the LSH-aware router, and drive the
+# same closed-loop clients through it. Reports wall QPS, mean fan-out, the
+# per-shard request/busy-time breakdown, and node_qps (requests divided by
+# the busiest shard's busy seconds — the per-node throughput a deployment
+# with one shard per machine would see; on this single box all shards share
+# the CPU, so wall QPS alone cannot show the scaling). Numbers are recorded
+# in BENCH_PR8.json:
+#
+#	make bench-fleet FLEET_N=1000000 FLEET_DIM=8
+FLEET_N ?= 1000000
+FLEET_DIM ?= 8
+FLEET_K ?= 16
+FLEET_SHARDS ?= 1,2,4
+FLEET_CLIENTS ?= 64
+FLEET_DURATION ?= 15s
+# The queue stays above the client count here, unlike bench-serve: a fleet
+# query completes only when every owning shard admits it, so running at the
+# shed point charges busy time for scans whose sibling shard shed the
+# request — wasted work that poisons the node_qps capacity measurement.
+bench-fleet:
+	$(GO) run ./cmd/serveload -self -n $(FLEET_N) -dim $(FLEET_DIM) -k $(FLEET_K) \
+		-fleet-shards $(FLEET_SHARDS) -clients $(FLEET_CLIENTS) \
+		-queue 128 -duration $(FLEET_DURATION) -json
+
+# Small fixed-size variant for the check gate and CI: catches a fleet path
+# that stops partitioning, routing, or merging, without the full-scale cost.
+bench-fleet-smoke:
+	$(GO) run ./cmd/serveload -self -n 20000 -dim 4 -k 8 \
+		-fleet-shards 1,2 -clients 8 -duration 1s -json > /dev/null
 
 # DAG scheduler comparison: hand-sequenced-equivalent fresh sessions vs a
 # shared cached session, over repeated LSH-DDP + halo runs (wall, job

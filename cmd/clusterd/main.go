@@ -22,6 +22,11 @@
 // exit. Concurrent requests are micro-batched into single kernel passes, and
 // a bounded admission queue sheds excess load with 429 instead of queueing
 // without bound — see OPERATIONS.md for the runbook.
+//
+// As a fleet member, clusterd loads a fleetctl sub-model and runs with
+// -shard N: /statsz then reports the shard id (routerd verifies it at
+// startup) and the shard-internal POST /fleet/assign endpoint answers the
+// router's masked scans. See OPERATIONS.md "Running a fleet".
 package main
 
 import (
@@ -51,6 +56,9 @@ func main() {
 		workers   = flag.Int("workers", 1, "concurrent requests processed per batch (serve.workers)")
 		maxPts    = flag.Int("max-points", 1024, "maximum points per request (serve.max.request.points)")
 		exact     = flag.Bool("exact", false, "disable LSH pruning; answer every query by full scan (serve.exact)")
+		shard     = flag.Int("shard", -1, "fleet shard id this daemon serves (reported in /statsz for routerd's startup check; -1 = not in a fleet)")
+		hdrTO     = flag.Duration("read-header-timeout", 0, "bound on reading a request's headers (0 = 5s default, negative disables) (serve.read.header.timeout)")
+		idleTO    = flag.Duration("idle-timeout", 0, "keep-alive idle connection bound (0 = 2m default, negative disables) (serve.idle.timeout)")
 		precision = flag.String("precision", "f64", "scan precision: f64, f32, or q8 — compact scans re-rank exactly, results are identical (serve.scan.precision)")
 		traceOut  = flag.String("trace", "", "write a JSONL trace with one span per request to this file on exit (debugging; unbounded)")
 		verbose   = flag.Bool("v", false, "log server events")
@@ -76,14 +84,19 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		BatchMax:         *batchMax,
-		BatchLinger:      *linger,
-		QueueDepth:       *queue,
-		Workers:          *workers,
-		MaxRequestPoints: *maxPts,
-		ExactOnly:        *exact,
-		Precision:        *precision,
-		Loader:           loader,
+		BatchMax:          *batchMax,
+		BatchLinger:       *linger,
+		QueueDepth:        *queue,
+		Workers:           *workers,
+		MaxRequestPoints:  *maxPts,
+		ReadHeaderTimeout: *hdrTO,
+		IdleTimeout:       *idleTO,
+		ExactOnly:         *exact,
+		Precision:         *precision,
+		Loader:            loader,
+	}
+	if *shard >= 0 {
+		cfg.ShardID = shard
 	}
 	if _, err := serve.ParsePrecision(*precision); err != nil {
 		fatal(err)

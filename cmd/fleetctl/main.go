@@ -1,0 +1,75 @@
+// Command fleetctl prepares serving fleets: it partitions a full cluster
+// model artifact into per-shard sub-models routed by consistent hashing
+// over LSH bucket keys, plus the fleet.json manifest routerd routes by.
+//
+// Usage:
+//
+//	fleetctl partition -model model.ddpm -shards 4 -out fleetdir
+//
+// writes fleetdir/shard-000.ddpm … shard-003.ddpm and fleetdir/fleet.json.
+// Each sub-model holds only the rows of the buckets its shard owns (plus
+// every cluster peak, replicated so halo fields and the exact fallback work
+// anywhere) and a RowIDs section mapping local rows back to global point
+// IDs. Start one clusterd per artifact with the matching -shard id, then
+// point routerd at the manifest — see OPERATIONS.md "Running a fleet".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fleet"
+	"repro/internal/model"
+)
+
+func main() {
+	if len(os.Args) < 2 || os.Args[1] != "partition" {
+		fmt.Fprintln(os.Stderr, "usage: fleetctl partition -model model.ddpm -shards N [-vnodes V] -out dir")
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("partition", flag.ExitOnError)
+	var (
+		modelPath = fs.String("model", "", "full cluster model artifact to partition (required)")
+		shards    = fs.Int("shards", 0, "shard count (required, >= 1)")
+		vnodes    = fs.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = default)")
+		out       = fs.String("out", "", "output directory for shard artifacts and fleet.json (required)")
+	)
+	fs.Parse(os.Args[2:]) //nolint:errcheck // ExitOnError
+	if *modelPath == "" || *out == "" || *shards < 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	m, err := model.ReadFile(*modelPath)
+	fatal(err)
+	fmt.Fprintf(os.Stderr, "fleetctl: partitioning %q (%d points, dim %d, M=%d) into %d shards\n",
+		m.Name, m.N(), m.Dim, m.LSH.M, *shards)
+	subs, mf, err := fleet.Partition(m, *shards, *vnodes)
+	fatal(err)
+	if len(mf.Overrides) > 0 {
+		fmt.Fprintf(os.Stderr, "fleetctl: %d heavy buckets re-placed for balance (recorded in the manifest)\n",
+			len(mf.Overrides))
+	}
+
+	fatal(os.MkdirAll(*out, 0o755))
+	total := 0
+	for s, sub := range subs {
+		path := filepath.Join(*out, fmt.Sprintf("shard-%03d.ddpm", s))
+		fatal(sub.WriteFile(path))
+		total += sub.N()
+		fmt.Fprintf(os.Stderr, "fleetctl: %s: %d rows (%.1f%% of source)\n",
+			path, sub.N(), 100*float64(sub.N())/float64(m.N()))
+	}
+	fatal(mf.Save(filepath.Join(*out, "fleet.json")))
+	fmt.Fprintf(os.Stderr, "fleetctl: wrote %s (replication factor %.2f)\n",
+		filepath.Join(*out, "fleet.json"), float64(total)/float64(m.N()))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetctl: %v\n", err)
+		os.Exit(1)
+	}
+}

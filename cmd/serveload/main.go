@@ -3,10 +3,27 @@
 // flight, so offered load rises with concurrency and the server's batching
 // and load-shedding behavior can be measured at each level.
 //
-// Two modes:
+// Modes:
 //
 //	serveload -addr host:8080 -input points.csv       # drive a running clusterd
+//	serveload -addr r1:8090,r2:8090 -input q.csv      # spread clients over targets
 //	serveload -self -n 20000 -clients 1,8,64 -json    # end-to-end benchmark
+//	serveload -self -fleet-shards 1,2,4 -json         # sharded-fleet benchmark
+//
+// -addr accepts a comma-separated target list; clients are assigned to
+// targets round-robin and the -json output carries a per-target
+// request/shed/error breakdown so skewed routing is visible.
+//
+// -fleet-shards partitions the model with fleet.Partition at each listed
+// shard count, hosts one serve.Server per shard plus a fleet.Router
+// in-process, and sweeps the client levels against the router. Per level it
+// reports the mean fan-out (owning shards per query), a per-shard
+// request/busy/shed breakdown from counter deltas, and node_qps — requests
+// divided by the busiest shard's busy-time delta (serve.busy.us), i.e. the
+// throughput the fleet sustains when each shard owns a machine. On a
+// single-CPU host the wall-clock qps of co-located shards measures CPU
+// contention, not scaling; node_qps is the honest per-node capacity figure
+// (this is what `make bench-fleet` snapshots into BENCH_PR8.json).
 //
 // -self trains LSH-DDP on a seeded blob dataset in-process (above ~100k
 // points it builds an equivalent model directly from the blob geometry, so
@@ -29,6 +46,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -37,6 +55,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/fleet"
 	"repro/internal/lsh"
 	"repro/internal/model"
 	"repro/internal/points"
@@ -45,9 +64,10 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "", "target server address (host:port); empty requires -self")
+		addr     = flag.String("addr", "", "comma-separated target server addresses (host:port,...); empty requires -self")
 		input    = flag.String("input", "", "CSV of query points (required with -addr)")
 		selfHost = flag.Bool("self", false, "train a model and host the server in-process")
+		fleetSh  = flag.String("fleet-shards", "", "self: comma-separated shard counts to sweep through an in-process fleet (e.g. 1,2,4)")
 		n        = flag.Int("n", 20000, "self: training points")
 		dim      = flag.Int("dim", 2, "self: dimensionality")
 		k        = flag.Int("k", 8, "self: clusters")
@@ -67,6 +87,10 @@ func main() {
 
 	var results []levelResult
 	switch {
+	case *selfHost && *fleetSh != "":
+		shardCounts, serr := parseLevels(*fleetSh)
+		fatal(serr)
+		results, err = runFleetSelf(*n, *dim, *k, *seed, shardCounts, levels, *duration, *queue, *batchMax, *workers)
 	case *selfHost:
 		precisions, perr := parsePrecisions(*precs)
 		fatal(perr)
@@ -77,7 +101,7 @@ func main() {
 		}
 		ds, derr := dataset.ReadCSVFile(*input, "queries", false)
 		fatal(derr)
-		results, err = sweep(*addr, "remote", "", queriesOf(ds), levels, *duration, nil)
+		results, err = sweep(strings.Split(*addr, ","), "remote", "", queriesOf(ds), levels, *duration, nil)
 	default:
 		fatal(fmt.Errorf("need -addr or -self"))
 	}
@@ -86,19 +110,20 @@ func main() {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		fatal(enc.Encode(map[string]any{"n": *n, "dim": *dim, "levels": results}))
+		fatal(enc.Encode(map[string]any{"n": *n, "dim": *dim, "cpus": runtime.NumCPU(), "levels": results}))
 		return
 	}
 	for _, r := range results {
-		fmt.Printf("%-6s %-4s clients=%-3d qps=%-8.0f p50=%-10s p99=%-10s shed=%.1f%% avg_cand=%.0f avg_rerank=%.0f\n",
-			r.Mode, r.Precision, r.Clients, r.QPS, time.Duration(r.P50us)*time.Microsecond,
+		fmt.Printf("%-6s %-4s shards=%-2d clients=%-3d qps=%-8.0f node_qps=%-8.0f fanout=%-5.2f p50=%-10s p99=%-10s shed=%.1f%% avg_cand=%.0f avg_rerank=%.0f\n",
+			r.Mode, r.Precision, r.Shards, r.Clients, r.QPS, r.NodeQPS, r.FanoutMean,
+			time.Duration(r.P50us)*time.Microsecond,
 			time.Duration(r.P99us)*time.Microsecond, 100*r.ShedRate, r.AvgCandidates, r.AvgRerank)
 	}
 }
 
 // levelResult is one (mode, precision, client-count) measurement.
 type levelResult struct {
-	Mode          string  `json:"mode"` // "lsh" | "exact" | "remote"
+	Mode          string  `json:"mode"` // "lsh" | "exact" | "remote" | "fleet"
 	Precision     string  `json:"precision,omitempty"`
 	Clients       int     `json:"clients"`
 	DurationS     float64 `json:"duration_s"`
@@ -111,6 +136,41 @@ type levelResult struct {
 	ShedRate      float64 `json:"shed_rate"`
 	AvgCandidates float64 `json:"avg_candidates"`
 	AvgRerank     float64 `json:"avg_rerank"`
+
+	// Fleet sweep only (-fleet-shards).
+	Shards int `json:"shards,omitempty"`
+	// FanoutMean is the mean owning-shard count per query
+	// (fleet.shards.per.query / fleet.points) — strictly below Shards
+	// when routing is bounded rather than broadcast.
+	FanoutMean float64 `json:"fanout_mean,omitempty"`
+	// NodeQPS projects per-node-deployment throughput: successful
+	// requests divided by the busiest shard's serve.busy.us delta. On one
+	// host the shards contend for the same CPUs and wall-clock QPS
+	// measures that contention; NodeQPS is what the same fleet sustains
+	// with a machine per shard.
+	NodeQPS  float64     `json:"node_qps,omitempty"`
+	PerShard []shardStat `json:"per_shard,omitempty"`
+
+	// Multi-target -addr mode only: client-side per-target breakdown.
+	PerTarget []targetStat `json:"per_target,omitempty"`
+}
+
+// shardStat is one shard's counter deltas over a fleet sweep level.
+type shardStat struct {
+	Shard         int   `json:"shard"`
+	Requests      int64 `json:"requests"`       // admitted batches (serve.requests)
+	FleetRequests int64 `json:"fleet_requests"` // router-issued masked/exact calls
+	BusyUS        int64 `json:"busy_us"`        // batcher service demand
+	Candidates    int64 `json:"candidates"`     // stored rows scored (serve.candidates)
+	Shed          int64 `json:"shed"`
+}
+
+// targetStat is the client-side view of one -addr target over a level.
+type targetStat struct {
+	Addr     string `json:"addr"`
+	Requests int64  `json:"requests"`
+	Shed     int64  `json:"shed"`
+	Errors   int64  `json:"errors"`
 }
 
 func parseLevels(s string) ([]int, error) {
@@ -224,23 +284,19 @@ func peakDist2(ds *points.Dataset, peaks []int32, i int) float64 {
 	return best
 }
 
-// runSelf trains (or fabricates) a model and benchmarks both serving paths
-// at every requested scan precision in-process. Engines are built once per
-// precision and shared across the pruned and exact servers, so the f32/q8
-// mirrors are derived once.
-func runSelf(n, dim, k int, seed int64, levels []int, precisions []serve.Precision, dur time.Duration, queue, batchMax, workers int) ([]levelResult, error) {
+// prepareSelf builds the -self model and its query stream: training points
+// jittered by a d_c/2-scale Gaussian, so the candidate sets look like real
+// nearby traffic rather than replays.
+func prepareSelf(n, dim, k int, seed int64) (*model.Model, [][]float64, error) {
 	ds := dataset.Blobs("bench-serve", n, dim, k, 100, 2.5, seed)
 	fmt.Fprintf(os.Stderr, "serveload: preparing model for %d points (dim %d)...\n", n, dim)
 	bm, err := buildModel(ds, k, seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	mdl, dc := bm.mdl, bm.dc
 	fmt.Fprintf(os.Stderr, "serveload: model ready: %d clusters, dc=%.4g, M=%d pi=%d w=%.4g\n",
 		mdl.NumClusters(), dc, mdl.LSH.M, mdl.LSH.Pi, mdl.LSH.W)
-
-	// Queries: training points jittered by a d_c/2-scale Gaussian, so the
-	// candidate sets look like real nearby traffic rather than replays.
 	rng := points.NewRand(seed + 99)
 	queries := make([][]float64, n)
 	for i, p := range ds.Points {
@@ -249,6 +305,26 @@ func runSelf(n, dim, k int, seed int64, levels []int, precisions []serve.Precisi
 			q[j] = x + rng.NormFloat64()*dc/2
 		}
 		queries[i] = q
+	}
+	// Shuffle (seeded, deterministic): the dataset is laid out cluster by
+	// cluster, and closed-loop clients walk the pool from the front — a
+	// short window would otherwise measure one cluster's neighborhood
+	// instead of a query mix that mirrors the data.
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		queries[i], queries[j] = queries[j], queries[i]
+	}
+	return mdl, queries, nil
+}
+
+// runSelf trains (or fabricates) a model and benchmarks both serving paths
+// at every requested scan precision in-process. Engines are built once per
+// precision and shared across the pruned and exact servers, so the f32/q8
+// mirrors are derived once.
+func runSelf(n, dim, k int, seed int64, levels []int, precisions []serve.Precision, dur time.Duration, queue, batchMax, workers int) ([]levelResult, error) {
+	mdl, queries, err := prepareSelf(n, dim, k, seed)
+	if err != nil {
+		return nil, err
 	}
 
 	var all []levelResult
@@ -278,7 +354,7 @@ func runSelf(n, dim, k int, seed int64, levels []int, precisions []serve.Precisi
 				c := srv.Counters()
 				return c.Get(serve.CtrPoints), c.Get(serve.CtrCandidates), c.Get(serve.CtrRerankRows)
 			}
-			rs, err := sweep(srv.Addr(), mode.name, eng.Precision().String(), queries, levels, dur, snap)
+			rs, err := sweep([]string{srv.Addr()}, mode.name, eng.Precision().String(), queries, levels, dur, snap)
 			if err != nil {
 				return nil, err
 			}
@@ -302,18 +378,145 @@ func queriesOf(ds *points.Dataset) [][]float64 {
 	return qs
 }
 
-// sweep runs the closed loop at every client level against one server.
-// When snap is non-nil, candidate and re-rank volume are attributed from
-// per-level counter deltas (not cumulative totals, which would smear every
-// level toward the running mean).
-func sweep(addr, mode, prec string, queries [][]float64, levels []int, dur time.Duration, snap func() (pts, cand, rerank int64)) ([]levelResult, error) {
+// runFleetSelf benchmarks the sharded serving fleet: at each shard count it
+// partitions the model, hosts one serve.Server per shard plus a
+// fleet.Router in-process, and sweeps the client levels against the
+// router's public /assign. Per-level fan-out, node_qps, and the per-shard
+// breakdown come from counter deltas (see the command doc for the
+// node_qps / wall-qps distinction on shared hosts).
+func runFleetSelf(n, dim, k int, seed int64, shardCounts, levels []int, dur time.Duration, queue, batchMax, workers int) ([]levelResult, error) {
+	mdl, queries, err := prepareSelf(n, dim, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	var all []levelResult
+	for _, shards := range shardCounts {
+		subs, mf, err := fleet.Partition(mdl, shards, 0)
+		if err != nil {
+			return nil, err
+		}
+		srvs := make([]*serve.Server, shards)
+		addrs := make([][]string, shards)
+		rows := 0
+		// All shards share one CPU here, so their batchers preempt each
+		// other mid-batch; a shared batch lock keeps each shard's
+		// serve.busy.us equal to its own compute (service demand), which
+		// is what node_qps divides by.
+		var batchLock sync.Mutex
+		for s := range subs {
+			eng, err := serve.NewEngine(subs[s], serve.PrecF64)
+			if err != nil {
+				return nil, err
+			}
+			id := s
+			srv := serve.New(serve.Config{
+				BatchMax:   batchMax,
+				QueueDepth: queue,
+				Workers:    workers,
+				ShardID:    &id,
+				BatchLock:  &batchLock,
+			})
+			srv.UseEngine(eng)
+			if err := srv.Start("127.0.0.1:0"); err != nil {
+				return nil, err
+			}
+			srvs[s] = srv
+			addrs[s] = []string{srv.Addr()}
+			rows += subs[s].N()
+		}
+		router, err := fleet.NewRouter(fleet.RouterConfig{Manifest: mf, Shards: addrs})
+		if err != nil {
+			return nil, err
+		}
+		if err := router.Start("127.0.0.1:0"); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "serveload: fleet of %d shards up (replication factor %.2f)\n",
+			shards, float64(rows)/float64(mdl.N()))
+
+		type shardSnap struct{ req, fleetReq, busy, cand, shed int64 }
+		snapShards := func() []shardSnap {
+			out := make([]shardSnap, len(srvs))
+			for s, srv := range srvs {
+				c := srv.Counters()
+				out[s] = shardSnap{
+					req:      c.Get(serve.CtrRequests),
+					fleetReq: c.Get(serve.CtrFleetRequests),
+					busy:     c.Get(serve.CtrBusyUS),
+					cand:     c.Get(serve.CtrCandidates),
+					shed:     c.Get(serve.CtrShed),
+				}
+			}
+			return out
+		}
+		for _, c := range levels {
+			s0 := snapShards()
+			pts0 := router.Counters().Get(fleet.CtrPoints)
+			spq0 := router.Counters().Get(fleet.CtrShardsPerQuery)
+			r, err := runLevel([]string{router.Addr()}, queries, c, dur)
+			if err != nil {
+				return nil, err
+			}
+			r.Mode, r.Precision, r.Shards = "fleet", "f64", shards
+			if d := router.Counters().Get(fleet.CtrPoints) - pts0; d > 0 {
+				r.FanoutMean = float64(router.Counters().Get(fleet.CtrShardsPerQuery)-spq0) / float64(d)
+			}
+			s1 := snapShards()
+			var maxBusy int64
+			for s := range srvs {
+				d := shardStat{
+					Shard:         s,
+					Requests:      s1[s].req - s0[s].req,
+					FleetRequests: s1[s].fleetReq - s0[s].fleetReq,
+					BusyUS:        s1[s].busy - s0[s].busy,
+					Candidates:    s1[s].cand - s0[s].cand,
+					Shed:          s1[s].shed - s0[s].shed,
+				}
+				r.PerShard = append(r.PerShard, d)
+				if d.BusyUS > maxBusy {
+					maxBusy = d.BusyUS
+				}
+			}
+			if maxBusy > 0 {
+				r.NodeQPS = float64(r.Requests) / (float64(maxBusy) / 1e6)
+			}
+			fmt.Fprintf(os.Stderr, "serveload: fleet/%d clients=%d: %d req (%.0f qps, %.0f node_qps), fanout=%.2f, p50=%s p99=%s, shed=%d, errors=%d\n",
+				shards, c, r.Requests, r.QPS, r.NodeQPS, r.FanoutMean,
+				time.Duration(r.P50us)*time.Microsecond, time.Duration(r.P99us)*time.Microsecond, r.Shed, r.Errors)
+			all = append(all, *r)
+		}
+
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		rerr := router.Shutdown(ctx)
+		cancel()
+		if rerr != nil {
+			return nil, rerr
+		}
+		for _, srv := range srvs {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			serr := srv.Shutdown(ctx)
+			cancel()
+			if serr != nil {
+				return nil, serr
+			}
+		}
+	}
+	return all, nil
+}
+
+// sweep runs the closed loop at every client level against one server (or a
+// list of equivalent targets; clients round-robin over them). When snap is
+// non-nil, candidate and re-rank volume are attributed from per-level
+// counter deltas (not cumulative totals, which would smear every level
+// toward the running mean).
+func sweep(addrs []string, mode, prec string, queries [][]float64, levels []int, dur time.Duration, snap func() (pts, cand, rerank int64)) ([]levelResult, error) {
 	var out []levelResult
 	for _, c := range levels {
 		var pts0, cand0, rer0 int64
 		if snap != nil {
 			pts0, cand0, rer0 = snap()
 		}
-		r, err := runLevel(addr, queries, c, dur)
+		r, err := runLevel(addrs, queries, c, dur)
 		if err != nil {
 			return nil, err
 		}
@@ -333,12 +536,12 @@ func sweep(addr, mode, prec string, queries [][]float64, levels []int, dur time.
 	return out, nil
 }
 
-// runLevel drives `clients` closed-loop clients for dur.
-func runLevel(addr string, queries [][]float64, clients int, dur time.Duration) (*levelResult, error) {
+// runLevel drives `clients` closed-loop clients for dur, assigned to the
+// targets round-robin.
+func runLevel(addrs []string, queries [][]float64, clients int, dur time.Duration) (*levelResult, error) {
 	transport := &http.Transport{MaxIdleConnsPerHost: clients}
 	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
 	defer transport.CloseIdleConnections()
-	url := "http://" + addr + "/assign"
 
 	type clientStats struct {
 		lat          []time.Duration
@@ -352,6 +555,7 @@ func runLevel(addr string, queries [][]float64, clients int, dur time.Duration) 
 		go func(c int) {
 			defer wg.Done()
 			st := &stats[c]
+			url := "http://" + addrs[c%len(addrs)] + "/assign"
 			for i := c; time.Now().Before(deadline); i++ {
 				q := queries[i%len(queries)]
 				body, _ := json.Marshal(map[string][][]float64{"points": {q}})
@@ -378,10 +582,21 @@ func runLevel(addr string, queries [][]float64, clients int, dur time.Duration) 
 
 	r := &levelResult{Clients: clients, DurationS: dur.Seconds()}
 	var all []time.Duration
+	perTarget := make([]targetStat, len(addrs))
 	for i := range stats {
 		all = append(all, stats[i].lat...)
 		r.Shed += stats[i].shed
 		r.Errors += stats[i].errors
+		t := &perTarget[i%len(addrs)]
+		t.Requests += int64(len(stats[i].lat))
+		t.Shed += stats[i].shed
+		t.Errors += stats[i].errors
+	}
+	if len(addrs) > 1 {
+		for i := range perTarget {
+			perTarget[i].Addr = addrs[i]
+		}
+		r.PerTarget = perTarget
 	}
 	r.Requests = int64(len(all))
 	r.QPS = float64(len(all)) / dur.Seconds()

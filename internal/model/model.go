@@ -100,6 +100,16 @@ type Model struct {
 	Q8Codes []uint8
 	Q8Min   []float64
 	Q8Scale []float64
+
+	// RowIDs maps local row index → global point ID for a shard sub-model
+	// exported by the fleet partitioner (internal/fleet). Empty means the
+	// identity mapping: row i IS point ID i, the single-node invariant.
+	// When present it must be strictly ascending, so local row order and
+	// global ID order agree and the lowest-row-index NN tie rule gives the
+	// same winner whether applied to local or global indices. Peaks and
+	// Nearest-style fields inside the artifact stay LOCAL row indices; the
+	// serving layer translates through GlobalID when answering.
+	RowIDs []int32
 }
 
 // Q8Params returns the quantization parameters as the points package type.
@@ -122,6 +132,15 @@ func (m *Model) BuildCompact() {
 
 // N returns the number of stored points.
 func (m *Model) N() int { return len(m.Labels) }
+
+// GlobalID returns the global point ID of local row i: RowIDs[i] for a
+// shard sub-model, or i itself for a full model.
+func (m *Model) GlobalID(i int) int32 {
+	if len(m.RowIDs) != 0 {
+		return m.RowIDs[i]
+	}
+	return int32(i)
+}
 
 // NumClusters returns the number of clusters (selected peaks).
 func (m *Model) NumClusters() int { return len(m.Peaks) }
@@ -190,6 +209,16 @@ func (m *Model) Validate() error {
 	} else if len(m.Q8Min) != 0 || len(m.Q8Scale) != 0 {
 		return fmt.Errorf("model: q8 parameters without q8 codes")
 	}
+	if len(m.RowIDs) != 0 {
+		if len(m.RowIDs) != n {
+			return fmt.Errorf("model: %d row IDs for %d points", len(m.RowIDs), n)
+		}
+		for i, id := range m.RowIDs {
+			if id < 0 || (i > 0 && id <= m.RowIDs[i-1]) {
+				return fmt.Errorf("model: row IDs must be non-negative and strictly ascending (row %d has ID %d)", i, id)
+			}
+		}
+	}
 	return nil
 }
 
@@ -207,6 +236,7 @@ const (
 	secPoints32 = "points32"
 	secQ8Codes  = "q8codes"
 	secQ8Params = "q8params" // Dim mins then Dim scales, f64 each
+	secRowIDs   = "rowids"   // local row → global point ID (shard sub-models)
 )
 
 // Encode serializes the model: header (magic, version, CRC32-C, body
@@ -229,6 +259,9 @@ func (m *Model) Encode() ([]byte, error) {
 		params := encodeFloats(m.Q8Min)
 		params = append(params, encodeFloats(m.Q8Scale)...)
 		body = mapreduce.AppendFrame(body, mapreduce.Pair{Key: secQ8Params, Value: params})
+	}
+	if len(m.RowIDs) != 0 {
+		body = mapreduce.AppendFrame(body, mapreduce.Pair{Key: secRowIDs, Value: encodeInt32s(m.RowIDs)})
 	}
 
 	out := make([]byte, 0, headerLen+len(body))
@@ -292,6 +325,8 @@ func Decode(data []byte) (*Model, error) {
 			}
 			m.Q8Min = params[:len(params)/2]
 			m.Q8Scale = params[len(params)/2:]
+		case secRowIDs:
+			m.RowIDs = decodeInt32s(f.Value)
 		default:
 			// Unknown section: written by a newer minor revision, skip.
 		}

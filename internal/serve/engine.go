@@ -55,6 +55,12 @@ type Assignment struct {
 	// Exact reports that the exact-scan fallback answered (no LSH bucket
 	// held a candidate, or the engine runs without an index).
 	Exact bool `json:"exact"`
+	// Dist2 is the squared distance to the nearest stored point — the
+	// fleet router's merge key (comparing on Dist would let two distinct
+	// squared distances collide after rounding). Never serialized on the
+	// public /assign response; the shard-internal /fleet/assign wire
+	// carries it explicitly.
+	Dist2 float64 `json:"-"`
 }
 
 // Precision selects the scan representation of the serving engine.
@@ -114,19 +120,48 @@ type ScanStats struct {
 type Engine struct {
 	m       *model.Model
 	layouts *lsh.Layouts
-	// buckets maps a layout-prefixed LSH key ("m|k1.k2...") to the rows
-	// stored under it, in ascending row order.
-	buckets map[string][]int32
+	// keyIDs interns every distinct layout-prefixed LSH key ("m|k1.k2...")
+	// of the stored points; buckets[id] holds the rows stored under that
+	// key, in ascending row order.
+	keyIDs  map[string]int32
+	buckets [][]int32
+	// rowKeys, in fleet mode (a sub-model with RowIDs), holds each row's
+	// interned key ID under every layout (row-major n×M). It is what makes
+	// cross-shard candidate dedup exact: when a masked query asks this
+	// shard to scan layout j, a row already matching the query under a
+	// cyclically-earlier layout is skipped here, because the shard owning
+	// that layout scans it — every global candidate is scanned exactly
+	// once fleet-wide.
+	rowKeys []int32
+	// rowSigs packs, per row, a 6-bit hash of each layout's key ID into one
+	// word (built when M <= 10 fields fit 64 bits). One XOR + SWAR zero-
+	// field test against the query's signature proves "no earlier layout
+	// matches" for the common non-overlapping row without touching rowKeys;
+	// only flagged rows (true overlaps plus ~2% hash aliases) run the exact
+	// compare loop. The signature is shard-local — it guards a local
+	// short-cut, never the cross-shard decision itself. Populated only
+	// while NewEngine builds bucketSigs, then released.
+	rowSigs []uint64
+	// bucketSigs mirrors buckets posting-for-posting with each row's
+	// signature word, so the masked scan's SWAR probes stream through one
+	// contiguous array per bucket walk instead of striding through rowSigs
+	// by row index. Bucket rows are sparse in the row space, so the strided
+	// form touches one useful word per cache line; several engines
+	// co-resident on one machine (a benched fleet) turn that into a miss
+	// per probe. Costs one extra word per posting (n × M × 8 bytes).
+	bucketSigs [][]uint64
+	sigLows    uint64 // 0b000001 in every 6-bit field
+	sigHighs   uint64 // 0b100000 in every 6-bit field
 
 	// prec is the effective scan precision: the requested one, or PrecF64
 	// when the model data cannot support the compact representation (e.g.
 	// unquantizable coordinates).
 	prec   Precision
-	data32 []float32         // float32 mirror (PrecF32)
-	maxAbs float64           // largest |coordinate| of the model data
-	q8     []uint8           // quantized codes (PrecQ8)
-	q8par  points.Q8Params   // their per-dimension affine parameters
-	q8bnd  kernels.Bounds    // query-independent q8 scan bounds
+	data32 []float32       // float32 mirror (PrecF32)
+	maxAbs float64         // largest |coordinate| of the model data
+	q8     []uint8         // quantized codes (PrecQ8)
+	q8par  points.Q8Params // their per-dimension affine parameters
+	q8bnd  kernels.Bounds  // query-independent q8 scan bounds
 
 	// scratch pools per-query candidate state sized to this model;
 	// batches pools per-batch scan state.
@@ -139,6 +174,7 @@ type scratch struct {
 	stamp []int32 // per-row epoch marks
 	epoch int32
 	cand  []int32
+	qids  []int32 // per-layout interned key IDs of the query (fleet mode)
 	q32   []float32
 	sl    kernels.Shortlist
 	lut   kernels.Q8LUT
@@ -174,13 +210,59 @@ func NewEngine(m *model.Model, prec Precision) (*Engine, error) {
 	if e.layouts == nil {
 		return e, nil
 	}
-	e.buckets = make(map[string][]int32, n)
-	for i := 0; i < n; i++ {
-		for _, key := range e.layouts.Keys(m.Row(i)) {
-			e.buckets[key] = append(e.buckets[key], int32(i))
+	// Fleet sub-models (RowIDs present) additionally record each row's key
+	// under every layout, the input to masked cross-shard dedup.
+	fleet := len(m.RowIDs) != 0
+	nl := e.layouts.M()
+	e.keyIDs = make(map[string]int32, n)
+	if fleet {
+		e.rowKeys = make([]int32, n*nl)
+		if nl <= 10 {
+			e.rowSigs = make([]uint64, n)
+			for f := 0; f < nl; f++ {
+				e.sigLows |= 1 << uint(6*f)
+			}
+			e.sigHighs = e.sigLows << 5
 		}
 	}
+	for i := 0; i < n; i++ {
+		for j, key := range e.layouts.Keys(m.Row(i)) {
+			id, ok := e.keyIDs[key]
+			if !ok {
+				id = int32(len(e.buckets))
+				e.keyIDs[key] = id
+				e.buckets = append(e.buckets, nil)
+			}
+			e.buckets[id] = append(e.buckets[id], int32(i))
+			if fleet {
+				e.rowKeys[i*nl+j] = id
+				if e.rowSigs != nil {
+					e.rowSigs[i] |= sigField(id) << uint(6*j)
+				}
+			}
+		}
+	}
+	if e.rowSigs != nil {
+		// Second pass: signatures are complete only after every layout of a
+		// row has been interned, so the posting-aligned mirror builds here.
+		e.bucketSigs = make([][]uint64, len(e.buckets))
+		for id, rows := range e.buckets {
+			sigs := make([]uint64, len(rows))
+			for p, r := range rows {
+				sigs[p] = e.rowSigs[r]
+			}
+			e.bucketSigs[id] = sigs
+		}
+		e.rowSigs = nil // scans read the posting-aligned mirror only
+	}
 	return e, nil
+}
+
+// sigField hashes an interned key ID to a nonzero 6-bit signature field;
+// zero is reserved for "query has no such key here", which must never
+// compare equal to a stored row's field.
+func sigField(id int32) uint64 {
+	return 1 + mix64(uint64(id))%63
 }
 
 // setupCompact derives (or adopts from the model artifact) the compact
@@ -237,6 +319,19 @@ func (e *Engine) Buckets() int { return len(e.buckets) }
 // Pruned reports whether the engine carries an LSH index.
 func (e *Engine) Pruned() bool { return e.layouts != nil }
 
+// FleetIndexed reports whether the engine can answer masked fleet scans
+// (an LSH index over a sub-model with row IDs, so per-row layout keys are
+// recorded for cross-shard dedup).
+func (e *Engine) FleetIndexed() bool { return e.rowKeys != nil }
+
+// Layouts returns the number of LSH layouts (0 without an index).
+func (e *Engine) Layouts() int {
+	if e.layouts == nil {
+		return 0
+	}
+	return e.layouts.M()
+}
+
 // Precision returns the effective scan precision.
 func (e *Engine) Precision() Precision { return e.prec }
 
@@ -248,10 +343,31 @@ func MaxCoord(dim int) float64 {
 	return math.Sqrt(math.MaxFloat64/float64(dim)) / 2
 }
 
-// errNoFinite is returned when no stored point has a finite distance to a
-// query (overflowing or non-finite coordinates); no assignment exists then.
-func errNoFinite() error {
-	return fmt.Errorf("serve: no finite distance from query to any stored point (coordinates non-finite or too large)")
+// ErrNoFinite is returned when no stored point has a finite distance to a
+// query (overflowing or non-finite coordinates); no assignment exists
+// then. The fleet router returns the same error verbatim so a routed
+// request fails byte-identically to a single-node one.
+var ErrNoFinite = fmt.Errorf("serve: no finite distance from query to any stored point (coordinates non-finite or too large)")
+
+// ErrNoCandidates is the per-query result of a masked fleet scan that
+// found no (finite-distance) candidate in any of the layouts this shard
+// was asked to probe. It is a routing signal, not a failure: when every
+// owning shard answers this, the router broadcasts the exact-scan
+// fallback, reproducing the single-node fallback rule.
+var ErrNoCandidates = fmt.Errorf("serve: no LSH candidates in the probed layouts")
+
+// BatchOpts selects the scan mode of one AssignBatchOpts call.
+type BatchOpts struct {
+	// ExactOnly forces the full-scan path for every query (the benchmark
+	// switch and the fleet's broadcast fallback). Takes precedence over
+	// Masks.
+	ExactOnly bool
+	// Masks, when non-nil, runs the fleet's masked pruned scan: entry i
+	// has bit j set iff this engine should probe layout j for query i.
+	// Requires FleetIndexed. Queries without candidates get
+	// ErrNoCandidates instead of the exact fallback — the router decides
+	// fleet-wide whether to fall back.
+	Masks []uint64
 }
 
 // Assign answers one query. exactOnly forces the full-scan path (the
@@ -272,6 +388,12 @@ func (e *Engine) Assign(q points.Vector, exactOnly bool) (Assignment, int, error
 // admission; a mismatch is a programming error and panics, as Assign
 // always has).
 func (e *Engine) AssignBatch(qs []points.Vector, exactOnly bool) ([]Assignment, []error, ScanStats) {
+	return e.AssignBatchOpts(qs, BatchOpts{ExactOnly: exactOnly})
+}
+
+// AssignBatchOpts is AssignBatch with an explicit scan mode — the fleet
+// entry point (see BatchOpts).
+func (e *Engine) AssignBatchOpts(qs []points.Vector, opts BatchOpts) ([]Assignment, []error, ScanStats) {
 	nq := len(qs)
 	out := make([]Assignment, nq)
 	errs := make([]error, nq)
@@ -281,18 +403,36 @@ func (e *Engine) AssignBatch(qs []points.Vector, exactOnly bool) ([]Assignment, 
 			panic(fmt.Sprintf("serve: query dim %d, model dim %d", len(q), e.m.Dim))
 		}
 	}
+	masked := !opts.ExactOnly && opts.Masks != nil
+	if masked {
+		if !e.FleetIndexed() {
+			panic("serve: masked scan on an engine without a fleet index")
+		}
+		if len(opts.Masks) != nq {
+			panic(fmt.Sprintf("serve: %d masks for %d queries", len(opts.Masks), nq))
+		}
+	}
 	bs := e.batches.Get().(*batchScratch)
 	bs.pending = bs.pending[:0]
-	if exactOnly || e.layouts == nil {
+	if opts.ExactOnly || e.layouts == nil {
 		for i := range qs {
 			bs.pending = append(bs.pending, int32(i))
 		}
 	} else {
 		s := e.scratch.Get().(*scratch)
 		for i, q := range qs {
-			cand := e.candidates(q, s)
+			var cand []int32
+			if masked {
+				cand = e.candidatesMasked(q, opts.Masks[i], s)
+			} else {
+				cand = e.candidates(q, s)
+			}
 			if len(cand) == 0 {
-				bs.pending = append(bs.pending, int32(i))
+				if masked {
+					errs[i] = ErrNoCandidates
+				} else {
+					bs.pending = append(bs.pending, int32(i))
+				}
 				continue
 			}
 			best, best2, rerank := e.nnRows(q, cand, s)
@@ -303,8 +443,13 @@ func (e *Engine) AssignBatch(qs []points.Vector, exactOnly bool) ([]Assignment, 
 			}
 			if best < 0 {
 				// Every candidate distance overflowed to +Inf; the full
-				// scan may still find a finite one.
-				bs.pending = append(bs.pending, int32(i))
+				// scan may still find a finite one. In masked mode that
+				// decision belongs to the router.
+				if masked {
+					errs[i] = ErrNoCandidates
+				} else {
+					bs.pending = append(bs.pending, int32(i))
+				}
 				continue
 			}
 			out[i] = e.finalize(q, best, best2, false)
@@ -330,7 +475,11 @@ func (e *Engine) candidates(q points.Vector, s *scratch) []int32 {
 	}
 	s.cand = s.cand[:0]
 	for _, key := range e.layouts.Keys(q) {
-		for _, r := range e.buckets[key] {
+		id, ok := e.keyIDs[key]
+		if !ok {
+			continue
+		}
+		for _, r := range e.buckets[id] {
 			if s.stamp[r] != s.epoch {
 				s.stamp[r] = s.epoch
 				s.cand = append(s.cand, r)
@@ -338,6 +487,155 @@ func (e *Engine) candidates(q points.Vector, s *scratch) []int32 {
 		}
 	}
 	return s.cand
+}
+
+// candidatesMasked gathers q's candidates from the layouts selected by
+// mask. A row sitting in several of q's buckets must be scanned by exactly
+// one shard fleet-wide, so each row goes to its FIRST matching layout in a
+// per-query cyclic order starting at j0 = hash(q's bucket keys) mod M: the
+// shard owning layout j scans bucket k_j(q) and skips any row that also
+// matches q under a cyclically-earlier layout — whether that layout is in
+// the mask or not (its owner takes the row). The skip check early-exits on
+// the first cyclically-earlier match, so a row in a dense region costs one
+// int32 compare, not an O(M) election; rotating the start by the query's
+// key hash spreads a hot bucket's scan work across every layout's owner in
+// aggregate instead of piling it onto layout 0's. j0 and the skip compares
+// depend only on the query's key strings and the row's own keys (a stored
+// row interns all M of its keys), so every shard decides identically and
+// the fleet-wide scan union equals the single-node dedup union exactly.
+func (e *Engine) candidatesMasked(q points.Vector, mask uint64, s *scratch) []int32 {
+	nl := e.layouts.M()
+	s.qids = s.qids[:0]
+	keys := e.layouts.Keys(q)
+	for _, key := range keys {
+		id, ok := e.keyIDs[key]
+		if !ok {
+			id = -1 // key holds no stored row here; matches nothing
+		}
+		s.qids = append(s.qids, id)
+	}
+	j0 := ScanRotation(keys)
+	var sigQ uint64
+	if e.bucketSigs != nil {
+		for j, id := range s.qids {
+			if id >= 0 {
+				sigQ |= sigField(id) << uint(6*j)
+			}
+		}
+	}
+	s.cand = s.cand[:0]
+	for j := 0; j < nl; j++ {
+		if mask&(1<<uint(j)) == 0 {
+			continue
+		}
+		id := s.qids[j]
+		if id < 0 {
+			continue
+		}
+		// Cyclic distance from j0 to j: the number of layouts to check.
+		ahead := j - j0
+		if ahead < 0 {
+			ahead += nl
+		}
+		if e.bucketSigs != nil {
+			// Fast path: one SWAR probe per row, streamed from the bucket's
+			// posting-aligned signature array. notWin forces every field
+			// outside the cyclic check window [j0, j) to a nonzero value, so
+			// the zero-field test can only fire inside the window; firing is
+			// conservative (hash aliases), the exact loop confirms. A missed
+			// overlap is impossible — equal key IDs hash to equal fields —
+			// so no row is ever dropped, and a (never-occurring) duplicate
+			// scan would not change the merged argmin anyway.
+			var win uint64
+			for dj := 0; dj < ahead; dj++ {
+				j2 := j0 + dj
+				if j2 >= nl {
+					j2 -= nl
+				}
+				win |= 0x3F << uint(6*j2)
+			}
+			notWin := ^win
+			sigs := e.bucketSigs[id]
+		fastRows:
+			for p, r := range e.buckets[id] {
+				y := (sigs[p] ^ sigQ) | notWin
+				if (y-e.sigLows)&^y&e.sigHighs == 0 {
+					s.cand = append(s.cand, r) // definitely no earlier match
+					continue
+				}
+				base := int(r) * nl
+				for dj := 0; dj < ahead; dj++ {
+					j2 := j0 + dj
+					if j2 >= nl {
+						j2 -= nl
+					}
+					if e.rowKeys[base+j2] == s.qids[j2] {
+						continue fastRows // earlier layout takes this row
+					}
+				}
+				s.cand = append(s.cand, r)
+			}
+			continue
+		}
+	rows:
+		for _, r := range e.buckets[id] {
+			base := int(r) * nl
+			for dj := 0; dj < ahead; dj++ {
+				j2 := j0 + dj
+				if j2 >= nl {
+					j2 -= nl
+				}
+				if e.rowKeys[base+j2] == s.qids[j2] {
+					continue rows // cyclically-earlier layout takes this row
+				}
+			}
+			s.cand = append(s.cand, r)
+		}
+	}
+	// Candidates arrive grouped by layout rather than in ascending row
+	// order; that is fine — NNRows ties on the row index itself, and the
+	// compact shortlist contract is order-independent (PR7's chunking
+	// property tests), so the merged fleet answer is unaffected.
+	return s.cand
+}
+
+// ScanRotation returns the start layout j₀ of the masked scan's cyclic
+// first-match order for a query with the given bucket keys (one per
+// layout, in layout order). It is part of the fleet scan-partition
+// contract: every shard — and the fleet partitioner, which replays
+// sample queries through the same rule to estimate each bucket's true
+// scoring load — must derive the identical rotation from the identical
+// key strings.
+func ScanRotation(keys []string) int {
+	var kh uint64
+	for _, key := range keys {
+		kh ^= fnv64a(key)
+	}
+	return int(mix64(kh) % uint64(len(keys)))
+}
+
+// fnv64a hashes s with 64-bit FNV-1a; ScanRotation folds the query's
+// bucket-key strings through it to derive the per-query scan rotation.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective scramble used to
+// turn the query's folded key hash into a scan-rotation start layout in
+// candidatesMasked. It must stay identical on every shard of a fleet — it
+// is part of the scan-partition contract.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // nnRows scans the candidate rows at the engine's precision: directly at
@@ -399,7 +697,7 @@ func (e *Engine) exactBatch(qs []points.Vector, bs *batchScratch, out []Assignme
 	}
 	for i, qi := range bs.pending {
 		if bs.best[i] < 0 {
-			errs[qi] = errNoFinite()
+			errs[qi] = ErrNoFinite
 			continue
 		}
 		out[qi] = e.finalize(qs[qi], int(bs.best[i]), bs.best2[i], true)
@@ -424,14 +722,17 @@ func (e *Engine) f32Bounds(quals []float64) kernels.Bounds {
 }
 
 // finalize builds the Assignment once the nearest stored row is known.
+// Nearest is reported as the GLOBAL point ID (identical to the local row
+// on a full model), so fleet answers merge and compare across shards.
 func (e *Engine) finalize(q points.Vector, best int, best2 float64, exact bool) Assignment {
 	cluster := e.m.Labels[best]
 	peak := e.m.Peaks[cluster]
 	return Assignment{
 		Cluster:  cluster,
 		Halo:     e.m.Rho[best] < e.m.Border[cluster],
-		Nearest:  int32(best),
+		Nearest:  e.m.GlobalID(best),
 		Dist:     math.Sqrt(best2),
+		Dist2:    best2,
 		PeakDist: points.Dist(q, e.m.Row(int(peak))),
 		Exact:    exact,
 	}

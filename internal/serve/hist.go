@@ -11,10 +11,10 @@ import (
 // spans 1µs to ~1.2 hours — more than any plausible request latency.
 const histBuckets = 32
 
-// hist is a lock-free log-bucketed latency histogram. Record and quantile
+// Hist is a lock-free log-bucketed latency histogram. Record and quantile
 // reads may race benignly (a snapshot is taken bucket by bucket); the
 // histogram is for operator visibility, not accounting.
-type hist struct {
+type Hist struct {
 	counts [histBuckets]atomic.Int64
 	total  atomic.Int64
 }
@@ -31,17 +31,17 @@ func bucketOf(d time.Duration) int {
 }
 
 // Record adds one observation.
-func (h *hist) Record(d time.Duration) {
+func (h *Hist) Record(d time.Duration) {
 	h.counts[bucketOf(d)].Add(1)
 	h.total.Add(1)
 }
 
 // Count returns the number of observations.
-func (h *hist) Count() int64 { return h.total.Load() }
+func (h *Hist) Count() int64 { return h.total.Load() }
 
 // Quantile returns an upper bound on the q-quantile (q in (0,1]): the
 // upper edge of the bucket holding the q-th observation. Zero when empty.
-func (h *hist) Quantile(q float64) time.Duration {
+func (h *Hist) Quantile(q float64) time.Duration {
 	var snap [histBuckets]int64
 	var total int64
 	for i := range snap {

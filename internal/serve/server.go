@@ -43,6 +43,14 @@ const (
 	CtrRerankQueries = "serve.rerank.queries"
 	// CtrReloads counts successful hot model reloads.
 	CtrReloads = "serve.reloads"
+	// CtrBusyUS accumulates microseconds the batcher spent processing
+	// batches — the server's service demand. Fleet benchmarks divide
+	// per-shard deltas of this by requests to get each shard's true
+	// per-query cost independent of co-location (see serveload -fleet).
+	CtrBusyUS = "serve.busy.us"
+	// CtrFleetRequests counts admitted shard-internal /fleet/assign
+	// requests (masked scans and broadcast fallbacks from a router).
+	CtrFleetRequests = "serve.fleet.requests"
 )
 
 // Config carries the serving knobs (see README "Configuration reference",
@@ -65,6 +73,22 @@ type Config struct {
 	Workers int
 	// MaxRequestPoints bounds the points of one request (default 1024).
 	MaxRequestPoints int
+	// ReadHeaderTimeout bounds how long the listener waits for a client's
+	// request headers (default 5s; a slow-loris client can no longer pin a
+	// connection forever). Negative disables.
+	ReadHeaderTimeout time.Duration
+	// IdleTimeout closes keep-alive connections idle this long (default
+	// 2m). Negative disables.
+	IdleTimeout time.Duration
+	// ReadTimeout / WriteTimeout bound a whole request read / response
+	// write when positive (default 0: unbounded, so large batch uploads
+	// and saturated-queue waits are not cut off arbitrarily).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// ShardID, when non-nil, names this server's slot in a serving fleet.
+	// It is reported in /statsz so a router can verify at startup that the
+	// replica it is about to route to really serves the shard it expects.
+	ShardID *int
 	// ExactOnly disables LSH pruning and answers every query by full scan
 	// (the benchmark baseline).
 	ExactOnly bool
@@ -86,6 +110,13 @@ type Config struct {
 	Log func(format string, args ...any)
 	// ProcessHook is a test hook invoked before each batch is processed.
 	ProcessHook func()
+	// BatchLock, when non-nil, is held for the whole of each batch's
+	// processing. Benchmarks that co-locate several shard servers on one
+	// machine hand every server the same lock so that serve.busy.us
+	// measures each batch's service demand: without it the batchers
+	// time-slice the CPU and each batch's wall time silently includes the
+	// other servers' compute. Production servers leave it nil.
+	BatchLock sync.Locker
 }
 
 func (c *Config) batchMax() int {
@@ -116,15 +147,54 @@ func (c *Config) maxRequestPoints() int {
 	return 1024
 }
 
-// request is one admitted /assign call waiting for its batch to run.
+func (c *Config) readHeaderTimeout() time.Duration {
+	return timeoutOr(c.ReadHeaderTimeout, 5*time.Second)
+}
+func (c *Config) idleTimeout() time.Duration { return timeoutOr(c.IdleTimeout, 2*time.Minute) }
+
+// timeoutOr resolves a timeout knob: 0 means the default, negative means
+// disabled (0 on the http.Server).
+func timeoutOr(v, def time.Duration) time.Duration {
+	switch {
+	case v > 0:
+		return v
+	case v < 0:
+		return 0
+	}
+	return def
+}
+
+// request is one admitted /assign or /fleet/assign call waiting for its
+// batch to run.
 type request struct {
 	qs      []points.Vector
+	masks   []uint64 // non-nil: fleet masked scan (aligned with qs)
+	exact   bool     // fleet broadcast fallback: force the exact scan
 	out     []Assignment
-	err     error
+	errs    []error // per-query results (fleet path reports them per point)
+	err     error   // first per-query error (the /assign 500 contract)
 	scanned int64
 	start   time.Time
 	done    chan struct{}
 }
+
+// mode buckets compatible requests of one batch into a single engine call.
+func (r *request) mode() int {
+	switch {
+	case r.exact:
+		return modeExact
+	case r.masks != nil:
+		return modeMasked
+	}
+	return modeNormal
+}
+
+const (
+	modeNormal = iota
+	modeMasked
+	modeExact
+	modeCount
+)
 
 // Server fronts an Engine with HTTP/JSON, micro-batching, and admission
 // control. Create with New, load a model with SetModel (or Reload), then
@@ -136,7 +206,7 @@ type Server struct {
 	quit     chan struct{}
 	draining atomic.Bool
 	counters *mapreduce.Counters
-	hist     hist
+	hist     Hist
 	batchID  atomic.Int64
 
 	mux      *http.ServeMux
@@ -158,6 +228,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /assign", s.handleAssign)
+	s.mux.HandleFunc("POST /fleet/assign", s.handleFleetAssign)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("POST /reload", s.handleReload)
@@ -226,7 +297,15 @@ func (s *Server) Start(addr string) error {
 		return err
 	}
 	s.ln = ln
-	s.httpSrv = &http.Server{Handler: s.mux}
+	// Bounded header reads and idle keep-alives: one slow or silent client
+	// must never pin a connection (and its goroutine) forever.
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: s.cfg.readHeaderTimeout(),
+		IdleTimeout:       s.cfg.idleTimeout(),
+		ReadTimeout:       timeoutOr(s.cfg.ReadTimeout, 0),
+		WriteTimeout:      timeoutOr(s.cfg.WriteTimeout, 0),
+	}
 	s.batchWG.Add(1)
 	go s.batcher()
 	go s.httpSrv.Serve(ln) //nolint:errcheck // ErrServerClosed after Shutdown
@@ -325,18 +404,32 @@ func (s *Server) process(batch []*request) {
 	if s.cfg.ProcessHook != nil {
 		s.cfg.ProcessHook()
 	}
+	if l := s.cfg.BatchLock; l != nil {
+		// Acquired before the busy-time stamp: waiting for a co-located
+		// server's batch is queueing, not service demand.
+		l.Lock()
+		defer l.Unlock()
+	}
 	eng := s.engine.Load()
 	batchStart := time.Now()
 	id := int(s.batchID.Add(1))
 
-	// runShard answers a group of requests through one AssignBatch call, so
-	// every exact full scan in the shard shares each row-tile pass.
-	runShard := func(shard []*request) {
+	// runGroup answers requests of one scan mode through one AssignBatchOpts
+	// call, so every exact full scan in the group shares each row-tile pass.
+	runGroup := func(group []*request) {
 		var qs []points.Vector
-		live := make([]*request, 0, len(shard))
-		for _, r := range shard {
+		var masks []uint64
+		mode := group[0].mode()
+		live := make([]*request, 0, len(group))
+		for _, r := range group {
 			if eng == nil {
 				r.err = fmt.Errorf("serve: no model loaded")
+				continue
+			}
+			if mode == modeMasked && !eng.FleetIndexed() {
+				// Admission checked against a different engine (hot reload
+				// swapped in a model without a fleet index mid-flight).
+				r.err = fmt.Errorf("serve: model carries no fleet index")
 				continue
 			}
 			bad := false
@@ -354,22 +447,33 @@ func (s *Server) process(batch []*request) {
 			}
 			live = append(live, r)
 			qs = append(qs, r.qs...)
+			if mode == modeMasked {
+				masks = append(masks, r.masks...)
+			}
 		}
 		if len(qs) == 0 {
 			return
 		}
-		out, errs, st := eng.AssignBatch(qs, s.cfg.ExactOnly)
+		opts := BatchOpts{ExactOnly: s.cfg.ExactOnly}
+		switch mode {
+		case modeMasked:
+			opts = BatchOpts{Masks: masks}
+		case modeExact:
+			opts = BatchOpts{ExactOnly: true}
+		}
+		out, errs, st := eng.AssignBatchOpts(qs, opts)
 		off := 0
 		for _, r := range live {
 			n := len(r.qs)
 			r.out = out[off : off+n]
-			for _, err := range errs[off : off+n] {
+			r.errs = errs[off : off+n]
+			for _, err := range r.errs {
 				if err != nil {
 					r.err = err
 					break
 				}
 			}
-			// Amortized share of the shard's scan work: batched exact scans
+			// Amortized share of the group's scan work: batched exact scans
 			// share tile passes, so per-request row counts are pro-rated.
 			r.scanned = st.Scanned * int64(n) / int64(len(qs))
 			off += n
@@ -378,6 +482,20 @@ func (s *Server) process(batch []*request) {
 		s.counters.Add(CtrExactScans, st.ExactQueries)
 		s.counters.Add(CtrRerankRows, st.Rerank)
 		s.counters.Add(CtrRerankQueries, st.RerankQueries)
+	}
+
+	// runShard splits a contiguous slice of requests by scan mode (normal,
+	// fleet-masked, fleet-exact) and runs each non-empty group.
+	runShard := func(shard []*request) {
+		var groups [modeCount][]*request
+		for _, r := range shard {
+			groups[r.mode()] = append(groups[r.mode()], r)
+		}
+		for _, g := range groups {
+			if len(g) > 0 {
+				runGroup(g)
+			}
+		}
 	}
 
 	if w := s.cfg.workers(); w > 1 && len(batch) > 1 {
@@ -419,9 +537,42 @@ func (s *Server) process(batch []*request) {
 	s.counters.Add(CtrRequests, int64(len(batch)))
 	s.counters.Add(CtrPoints, pts)
 	s.counters.Add(CtrBatches, 1)
+	// Service demand, not latency: the time this batch actually occupied the
+	// batcher. Per-shard deltas stay meaningful even when several shards
+	// share one machine and wall-clock QPS measures only contention.
+	s.counters.Add(CtrBusyUS, time.Since(batchStart).Microseconds())
 	if s.cfg.Trace != nil {
 		s.cfg.Trace.Add(obs.JobTrace{Job: "serve", ID: id, Wall: time.Since(batchStart), Spans: spans})
 	}
+}
+
+// ValidatePoints checks a batch of query points against a model of the given
+// dimensionality, enforcing the serving layer's size and coordinate bounds.
+// It returns the HTTP status and message a server would reject the batch
+// with, or (0, "") when the batch is admissible. Exported so the fleet
+// router can reject bad requests with byte-identical errors and never burn a
+// shard round-trip on them.
+func ValidatePoints(pts [][]float64, dim, maxPoints int) (int, string) {
+	if len(pts) == 0 {
+		return http.StatusBadRequest, "no points"
+	}
+	if len(pts) > maxPoints {
+		return http.StatusBadRequest, fmt.Sprintf("too many points: %d > %d", len(pts), maxPoints)
+	}
+	maxCoord := MaxCoord(dim)
+	for i, p := range pts {
+		if len(p) != dim {
+			return http.StatusBadRequest, fmt.Sprintf("point %d has dim %d, model has dim %d", i, len(p), dim)
+		}
+		for _, x := range p {
+			// Reject coordinates whose squared distances could overflow to
+			// +Inf — past that bound no nearest point is computable.
+			if math.IsNaN(x) || math.Abs(x) > maxCoord {
+				return http.StatusBadRequest, fmt.Sprintf("point %d has non-finite or out-of-range coordinate %v (|x| must be <= %.4g)", i, x, maxCoord)
+			}
+		}
+	}
+	return 0, ""
 }
 
 // assignRequest is the /assign JSON body.
@@ -450,29 +601,12 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
 		return
 	}
-	if len(body.Points) == 0 {
-		http.Error(w, "no points", http.StatusBadRequest)
-		return
-	}
-	if len(body.Points) > s.cfg.maxRequestPoints() {
-		http.Error(w, fmt.Sprintf("too many points: %d > %d", len(body.Points), s.cfg.maxRequestPoints()), http.StatusBadRequest)
+	if status, msg := ValidatePoints(body.Points, eng.m.Dim, s.cfg.maxRequestPoints()); status != 0 {
+		http.Error(w, msg, status)
 		return
 	}
 	qs := make([]points.Vector, len(body.Points))
-	maxCoord := MaxCoord(eng.m.Dim)
 	for i, p := range body.Points {
-		if len(p) != eng.m.Dim {
-			http.Error(w, fmt.Sprintf("point %d has dim %d, model has dim %d", i, len(p), eng.m.Dim), http.StatusBadRequest)
-			return
-		}
-		for _, x := range p {
-			// Reject coordinates whose squared distances could overflow to
-			// +Inf — past that bound no nearest point is computable.
-			if math.IsNaN(x) || math.Abs(x) > maxCoord {
-				http.Error(w, fmt.Sprintf("point %d has non-finite or out-of-range coordinate %v (|x| must be <= %.4g)", i, x, maxCoord), http.StatusBadRequest)
-				return
-			}
-		}
 		qs[i] = p
 	}
 	req := &request{qs: qs, start: time.Now(), done: make(chan struct{})}
@@ -506,6 +640,119 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(assignResponse{Results: req.out}) //nolint:errcheck
 }
 
+// FleetAssignRequest is the shard-internal /fleet/assign JSON body. Masks
+// select, per query, which LSH layouts this shard owns and must scan (bit j
+// = layout j); Exact instead runs the router's broadcast fallback, an exact
+// full scan over this shard's rows. Exactly one of the two shapes is valid.
+type FleetAssignRequest struct {
+	Points [][]float64 `json:"points"`
+	Masks  []uint64    `json:"masks,omitempty"`
+	Exact  bool        `json:"exact,omitempty"`
+}
+
+// FleetResult is one per-query entry of a /fleet/assign reply. Nearest is a
+// global point ID (the shard translates through its RowIDs section), and D2
+// — the exact squared distance — is the router's merge key. NoCand marks a
+// masked query that found no candidate in the scanned layouts; NoFinite an
+// exact scan that found no finite distance. Either flag voids the other
+// fields for that query.
+type FleetResult struct {
+	Assignment
+	D2       float64 `json:"d2"`
+	NoCand   bool    `json:"nocand,omitempty"`
+	NoFinite bool    `json:"nofinite,omitempty"`
+}
+
+// FleetAssignResponse is the /fleet/assign JSON reply.
+type FleetAssignResponse struct {
+	Results []FleetResult `json:"results"`
+}
+
+// handleFleetAssign is the shard-side half of the fleet protocol: a masked
+// scan over the layouts this shard owns for each query, or the broadcast
+// exact fallback. Per-query misses travel as flags, not errors — the router
+// alone decides when a fleet-wide miss becomes a fallback or an error.
+func (s *Server) handleFleetAssign(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	eng := s.engine.Load()
+	if eng == nil {
+		http.Error(w, "no model loaded", http.StatusServiceUnavailable)
+		return
+	}
+	var body FleetAssignRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&body); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if status, msg := ValidatePoints(body.Points, eng.m.Dim, s.cfg.maxRequestPoints()); status != 0 {
+		http.Error(w, msg, status)
+		return
+	}
+	if !body.Exact {
+		if len(body.Masks) != len(body.Points) {
+			http.Error(w, fmt.Sprintf("masks/points mismatch: %d masks, %d points", len(body.Masks), len(body.Points)), http.StatusBadRequest)
+			return
+		}
+		if !eng.FleetIndexed() {
+			http.Error(w, "model carries no fleet index (not a partitioned sub-model?)", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	qs := make([]points.Vector, len(body.Points))
+	for i, p := range body.Points {
+		qs[i] = p
+	}
+	req := &request{qs: qs, exact: body.Exact, start: time.Now(), done: make(chan struct{})}
+	if !body.Exact {
+		req.masks = body.Masks
+	}
+	select {
+	case s.queue <- req:
+	default:
+		s.counters.Add(CtrShed, 1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded: admission queue full", http.StatusTooManyRequests)
+		return
+	}
+	select {
+	case <-req.done:
+	case <-s.quit:
+		select {
+		case <-req.done:
+		default:
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	s.counters.Add(CtrFleetRequests, 1)
+	results := make([]FleetResult, len(req.qs))
+	for i := range req.qs {
+		var err error
+		if req.errs != nil {
+			err = req.errs[i]
+		} else if req.err != nil {
+			err = req.err // request-level failure (stale engine, no model)
+		}
+		switch {
+		case err == nil:
+			results[i] = FleetResult{Assignment: req.out[i], D2: req.out[i].Dist2}
+		case err == ErrNoCandidates:
+			results[i] = FleetResult{NoCand: true}
+		case err == ErrNoFinite:
+			results[i] = FleetResult{NoFinite: true}
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(FleetAssignResponse{Results: results}) //nolint:errcheck
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	switch {
 	case s.draining.Load():
@@ -519,6 +766,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // Statsz is the /statsz JSON document.
 type Statsz struct {
+	// Shard is this server's fleet slot (serve.shard.id), nil outside a
+	// fleet. Routers check it at startup against their shard map.
+	Shard    *int             `json:"shard,omitempty"`
 	Model    *ModelInfo       `json:"model,omitempty"`
 	Counters map[string]int64 `json:"counters"`
 	Latency  LatencyInfo      `json:"latency"`
@@ -558,6 +808,7 @@ type QueueInfo struct {
 // Stats snapshots the server's observable state (what /statsz serves).
 func (s *Server) Stats() Statsz {
 	st := Statsz{
+		Shard:    s.cfg.ShardID,
 		Counters: s.counters.Snapshot(),
 		Latency: LatencyInfo{
 			Count: s.hist.Count(),
