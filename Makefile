@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet doccheck race bench bench-hot bench-scan bench-scan-smoke bench-shuffle bench-serve bench-fleet bench-fleet-smoke bench-dag bench-dag-smoke experiments examples clean
+.PHONY: all check build test test-short vet doccheck race bench bench-hot bench-scan bench-scan-smoke bench-shuffle bench-serve bench-fleet bench-fleet-smoke bench-ingest bench-ingest-smoke bench-dag bench-dag-smoke experiments examples clean
 
 all: check
 
-# The full gate: compile everything, vet, enforce package docs, run the
-# test suite, re-run the concurrency-heavy packages under the race
-# detector, and smoke the DAG scheduler's cache-reuse win, the compact
-# scan kernels, and the sharded-fleet serving path.
-check: build vet doccheck test race bench-dag-smoke bench-scan-smoke bench-fleet-smoke
+# The full gate: compile everything, vet, enforce package docs (and the
+# README knob reference), run the test suite, re-run the concurrency-heavy
+# packages under the race detector, and smoke the DAG scheduler's
+# cache-reuse win, the compact scan kernels, the sharded-fleet serving
+# path, and the streaming-ingest path.
+check: build vet doccheck test race bench-dag-smoke bench-scan-smoke bench-fleet-smoke bench-ingest-smoke
 
 build:
 	$(GO) build ./...
@@ -18,7 +19,8 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Fail on any package missing a package-level doc comment.
+# Fail on any package missing a package-level doc comment, or any
+# registered Conf* knob missing from README.md's configuration reference.
 doccheck:
 	$(GO) run ./cmd/doccheck
 
@@ -34,9 +36,10 @@ test-short:
 # serve/model for the query server's batching, shedding, and hot reload,
 # fleet for the router's scatter-gather, hedging, and liveness prober.
 # ./internal/mapreduce/... recursively covers the dag scheduler package,
-# whose concurrent node dispatch is the newest race surface.
+# whose concurrent node dispatch is the newest race surface; ingest for the
+# WAL-backed store's concurrent writers, query merges, and compaction swap.
 race:
-	$(GO) test -race ./internal/mapreduce/... ./internal/mapreduce/rpcmr/... ./internal/kernels/... ./internal/points/... ./internal/dfs/... ./internal/chaos/... ./internal/serve/... ./internal/model/... ./internal/fleet/...
+	$(GO) test -race ./internal/mapreduce/... ./internal/mapreduce/rpcmr/... ./internal/kernels/... ./internal/points/... ./internal/dfs/... ./internal/chaos/... ./internal/serve/... ./internal/model/... ./internal/fleet/... ./internal/ingest/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -117,6 +120,31 @@ bench-fleet:
 bench-fleet-smoke:
 	$(GO) run ./cmd/serveload -self -n 20000 -dim 4 -k 8 \
 		-fleet-shards 1,2 -clients 8 -duration 1s -json > /dev/null
+
+# Mixed read/write benchmark: the in-process server fronts a streaming
+# ingest.Store, and -ingest-frac of each client's requests write instead of
+# read, with the background compactor folding the delta into new base
+# artifacts as the sweep runs. Reports read and ingest QPS/p99 separately
+# plus compactions per window (numbers recorded in BENCH_PR9.json):
+#
+#	make bench-ingest INGEST_N=1000000 INGEST_DIM=8
+INGEST_N ?= 1000000
+INGEST_DIM ?= 8
+INGEST_K ?= 16
+INGEST_FRAC ?= 0.1
+INGEST_CLIENTS ?= 64
+INGEST_DURATION ?= 15s
+bench-ingest:
+	$(GO) run ./cmd/serveload -self -n $(INGEST_N) -dim $(INGEST_DIM) -k $(INGEST_K) \
+		-ingest-frac $(INGEST_FRAC) -ingest-compact-interval 5s \
+		-clients $(INGEST_CLIENTS) -queue 128 -duration $(INGEST_DURATION) -json
+
+# Small fixed-size variant for the check gate and CI: catches an ingest
+# path that stops acking, merging, or compacting, without the full cost.
+bench-ingest-smoke:
+	$(GO) run ./cmd/serveload -self -n 20000 -dim 4 -k 8 \
+		-ingest-frac 0.1 -ingest-compact-interval 500ms \
+		-clients 8 -duration 1s -json > /dev/null
 
 # DAG scheduler comparison: hand-sequenced-equivalent fresh sessions vs a
 # shared cached session, over repeated LSH-DDP + halo runs (wall, job

@@ -27,6 +27,13 @@
 // -shard N: /statsz then reports the shard id (routerd verifies it at
 // startup) and the shard-internal POST /fleet/assign endpoint answers the
 // router's masked scans. See OPERATIONS.md "Running a fleet".
+//
+// With -ingest-dir the daemon becomes an ingest node: POST /ingest appends
+// points into a WAL-backed delta segment (immediately assignable, no
+// restart), a background compactor merges them into versioned artifacts
+// (POST /compact forces one), and /reload is disabled — the compactor owns
+// the model lineage. SIGHUP triggers a compaction instead of a reload. See
+// OPERATIONS.md "Streaming ingest".
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 
 	"repro/internal/dfs"
 	"repro/internal/dfsio"
+	"repro/internal/ingest"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -63,6 +71,14 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a JSONL trace with one span per request to this file on exit (debugging; unbounded)")
 		verbose   = flag.Bool("v", false, "log server events")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address")
+
+		ingestDir  = flag.String("ingest-dir", "", "enable streaming ingest: WAL + compacted artifacts live here (ingest.dir)")
+		compactInt = flag.Duration("compact-interval", 30*time.Second, "background compaction period; 0 = manual /compact only (ingest.compact.interval)")
+		compactMin = flag.Int("compact-min-points", 1024, "periodic compactions wait for this many delta points (ingest.compact.min.points)")
+		ingFsync   = flag.Bool("ingest-fsync", false, "fsync the WAL on every ingest batch (ingest.wal.fsync)")
+		ingMax     = flag.Int("ingest-max-delta", 1<<20, "delta segment bound; full delta sheds ingests with 429 (ingest.delta.max)")
+		ingIDBase  = flag.Int64("ingest-id-base", 0, "first global ID for ingested points; 0 = base model max + 1 (ingest.id.base)")
+		ingIDStr   = flag.Int64("ingest-id-stride", 1, "global-ID increment between ingested points; fleet shards use the shard count (ingest.id.stride)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -118,7 +134,27 @@ func main() {
 	}
 
 	srv := serve.New(cfg)
-	fatal(srv.Reload()) // initial model load, through the same path SIGHUP uses
+	var store *ingest.Store
+	if *ingestDir != "" {
+		var err error
+		store, err = ingest.Open(ingest.Config{
+			Dir:       *ingestDir,
+			Precision: *precision,
+			Interval:  *compactInt,
+			MinPoints: *compactMin,
+			MaxDelta:  *ingMax,
+			Fsync:     *ingFsync,
+			IDBase:    *ingIDBase,
+			IDStride:  *ingIDStr,
+			OnSwap:    srv.UseEngine,
+			Log:       cfg.Log,
+		}, loader)
+		fatal(err)
+		srv.SetIngest(store)
+		srv.UseEngine(store.Engine())
+	} else {
+		fatal(srv.Reload()) // initial model load, through the same path SIGHUP uses
+	}
 	fatal(srv.Start(*listen))
 	fmt.Fprintf(os.Stderr, "clusterd: serving on %s (model %s)\n", srv.Addr(), *modelPath)
 
@@ -126,6 +162,14 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
 	for s := range sig {
 		if s == syscall.SIGHUP {
+			if store != nil {
+				if info, err := store.Compact(); err != nil {
+					fmt.Fprintf(os.Stderr, "clusterd: compaction failed, keeping old base: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "clusterd: compacted to version %d (%d rows)\n", info.Version, info.BaseN)
+				}
+				continue
+			}
 			if err := srv.Reload(); err != nil {
 				fmt.Fprintf(os.Stderr, "clusterd: reload failed, keeping old model: %v\n", err)
 			} else {
@@ -140,6 +184,9 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	fatal(srv.Shutdown(ctx))
+	if store != nil {
+		fatal(store.Close()) // unflushed delta replays from the WAL next start
+	}
 	fmt.Fprint(os.Stderr, srv.Counters().String())
 	if trace != nil {
 		f, err := os.Create(*traceOut)

@@ -1,47 +1,133 @@
-// Command doccheck fails the build when any package in the repository
-// lacks a package-level doc comment. It is wired into `make check` so
-// every package keeps the one-paragraph statement of what it is for —
-// the documentation gate added alongside the operator-docs pass.
+// Command doccheck is the documentation gate wired into `make check`. It
+// fails the build when:
 //
-// A package passes if at least one of its non-test .go files carries a
-// doc comment on the package clause. Run from the module root:
+//   - any package in the repository lacks a package-level doc comment
+//     (a package passes if at least one non-test .go file carries a doc
+//     comment on the package clause), or
+//   - any configuration knob registered in code — an exported `Conf*`
+//     string constant with a dotted value, e.g. `ConfDeltaMax =
+//     "ingest.delta.max"` — has no row in README.md's configuration
+//     reference (the knob's name must appear backticked in README.md).
+//
+// The second check keeps the README's configuration reference in step with
+// the code: adding a knob without documenting it breaks `make check` and CI.
+// Run from the module root:
 //
 //	go run ./cmd/doccheck
 package main
 
 import (
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
 func main() {
-	undocumented, err := scan(".")
+	undocumented, knobs, err := scan(".")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
 		os.Exit(1)
 	}
+	failed := false
 	if len(undocumented) > 0 {
+		failed = true
 		fmt.Fprintln(os.Stderr, "doccheck: packages without a package doc comment:")
 		for _, dir := range undocumented {
 			fmt.Fprintf(os.Stderr, "  %s\n", dir)
 		}
+	}
+	missing, err := undocumentedKnobs("README.md", knobs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Println("doccheck: all packages documented")
+	if len(missing) > 0 {
+		failed = true
+		fmt.Fprintln(os.Stderr, "doccheck: knobs registered in code but missing from README.md's configuration reference:")
+		for _, k := range missing {
+			fmt.Fprintf(os.Stderr, "  %-28s (%s in %s)\n", k.value, k.name, k.file)
+		}
+		fmt.Fprintln(os.Stderr, "doccheck: add a `| `knob` | default | meaning |` row under \"Configuration reference\"")
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: all packages documented, all %d registered knobs in the README\n", len(knobs))
+}
+
+// knob is one exported Conf* string constant found in the tree.
+type knob struct {
+	name  string // Go identifier, e.g. ConfDeltaMax
+	value string // knob name, e.g. ingest.delta.max
+	file  string
+}
+
+// undocumentedKnobs returns the knobs whose value never appears backticked
+// in the named markdown file.
+func undocumentedKnobs(readme string, knobs []knob) ([]knob, error) {
+	data, err := os.ReadFile(readme)
+	if err != nil {
+		return nil, err
+	}
+	text := string(data)
+	var missing []knob
+	for _, k := range knobs {
+		if !strings.Contains(text, "`"+k.value+"`") {
+			missing = append(missing, k)
+		}
+	}
+	return missing, nil
+}
+
+// collectKnobs pulls exported Conf* string constants with dotted values out
+// of one parsed file. The dot requirement skips unrelated Conf* constants
+// that are not knob names.
+func collectKnobs(path string, f *ast.File) []knob {
+	var out []knob
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if !strings.HasPrefix(name.Name, "Conf") || !name.IsExported() || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				val, err := strconv.Unquote(lit.Value)
+				if err != nil || !strings.Contains(val, ".") {
+					continue
+				}
+				out = append(out, knob{name: name.Name, value: val, file: path})
+			}
+		}
+	}
+	return out
 }
 
 // scan walks the tree under root and returns the directories containing a
-// Go package whose files all lack a package doc comment.
-func scan(root string) ([]string, error) {
+// Go package whose files all lack a package doc comment, plus every
+// registered Conf* knob, sorted by knob name.
+func scan(root string) ([]string, []knob, error) {
 	// dir -> has at least one non-test file with a package doc
 	hasDoc := make(map[string]bool)
 	seen := make(map[string]bool)
+	var knobs []knob
 	fset := token.NewFileSet()
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -59,20 +145,18 @@ func scan(root string) ([]string, error) {
 		}
 		dir := filepath.Dir(path)
 		seen[dir] = true
-		if hasDoc[dir] {
-			return nil
-		}
-		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
 			hasDoc[dir] = true
 		}
+		knobs = append(knobs, collectKnobs(path, f)...)
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var out []string
 	for dir := range seen {
@@ -81,5 +165,6 @@ func scan(root string) ([]string, error) {
 		}
 	}
 	sort.Strings(out)
-	return out, nil
+	sort.Slice(knobs, func(i, j int) bool { return knobs[i].value < knobs[j].value })
+	return out, knobs, nil
 }

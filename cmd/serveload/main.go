@@ -9,6 +9,7 @@
 //	serveload -addr r1:8090,r2:8090 -input q.csv      # spread clients over targets
 //	serveload -self -n 20000 -clients 1,8,64 -json    # end-to-end benchmark
 //	serveload -self -fleet-shards 1,2,4 -json         # sharded-fleet benchmark
+//	serveload -self -ingest-frac 0.1 -json            # mixed read/write benchmark
 //
 // -addr accepts a comma-separated target list; clients are assigned to
 // targets round-robin and the -json output carries a per-target
@@ -24,6 +25,15 @@
 // single-CPU host the wall-clock qps of co-located shards measures CPU
 // contention, not scaling; node_qps is the honest per-node capacity figure
 // (this is what `make bench-fleet` snapshots into BENCH_PR8.json).
+//
+// -ingest-frac f (with -self) makes every round(1/f)-th request of each
+// client a POST /ingest of its query point instead of a read: the server is
+// wired to an ingest.Store over a temp directory, so the benchmark
+// exercises the full streaming-ingest path — WAL appends, delta-merged
+// queries, and background compactions (-ingest-compact-interval) — under
+// mixed load. Reported per level: read and ingest QPS/latency separately,
+// plus the compaction count that landed inside the window (this is what
+// `make bench-ingest` snapshots into BENCH_PR9.json).
 //
 // -self trains LSH-DDP on a seeded blob dataset in-process (above ~100k
 // points it builds an equivalent model directly from the blob geometry, so
@@ -56,6 +66,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fleet"
+	"repro/internal/ingest"
 	"repro/internal/lsh"
 	"repro/internal/model"
 	"repro/internal/points"
@@ -79,6 +90,9 @@ func main() {
 		workers  = flag.Int("workers", 1, "self: server batch workers")
 		precs    = flag.String("precisions", "f64", "self: comma-separated scan precisions to sweep (f64,f32,q8)")
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON summary")
+
+		ingFrac = flag.Float64("ingest-frac", 0, "self: fraction of requests that are ingests (0 = read-only; 0.1 = 90/10 mixed)")
+		ingComp = flag.Duration("ingest-compact-interval", 10*time.Second, "self mixed mode: background compaction period of the in-process store")
 	)
 	flag.Parse()
 
@@ -91,6 +105,13 @@ func main() {
 		shardCounts, serr := parseLevels(*fleetSh)
 		fatal(serr)
 		results, err = runFleetSelf(*n, *dim, *k, *seed, shardCounts, levels, *duration, *queue, *batchMax, *workers)
+	case *selfHost && *ingFrac > 0:
+		if *ingFrac >= 1 {
+			fatal(fmt.Errorf("-ingest-frac must be in (0,1)"))
+		}
+		precisions, perr := parsePrecisions(*precs)
+		fatal(perr)
+		results, err = runMixedSelf(*n, *dim, *k, *seed, levels, precisions, *duration, *queue, *batchMax, *workers, *ingFrac, *ingComp)
 	case *selfHost:
 		precisions, perr := parsePrecisions(*precs)
 		fatal(perr)
@@ -114,10 +135,15 @@ func main() {
 		return
 	}
 	for _, r := range results {
-		fmt.Printf("%-6s %-4s shards=%-2d clients=%-3d qps=%-8.0f node_qps=%-8.0f fanout=%-5.2f p50=%-10s p99=%-10s shed=%.1f%% avg_cand=%.0f avg_rerank=%.0f\n",
+		fmt.Printf("%-6s %-4s shards=%-2d clients=%-3d qps=%-8.0f node_qps=%-8.0f fanout=%-5.2f p50=%-10s p99=%-10s shed=%.1f%% avg_cand=%.0f avg_rerank=%.0f",
 			r.Mode, r.Precision, r.Shards, r.Clients, r.QPS, r.NodeQPS, r.FanoutMean,
 			time.Duration(r.P50us)*time.Microsecond,
 			time.Duration(r.P99us)*time.Microsecond, 100*r.ShedRate, r.AvgCandidates, r.AvgRerank)
+		if r.IngestRequests > 0 {
+			fmt.Printf(" ingest_qps=%-6.0f ingest_p99=%-10s compactions=%d",
+				r.IngestQPS, time.Duration(r.IngestP99us)*time.Microsecond, r.Compactions)
+		}
+		fmt.Println()
 	}
 }
 
@@ -153,6 +179,17 @@ type levelResult struct {
 
 	// Multi-target -addr mode only: client-side per-target breakdown.
 	PerTarget []targetStat `json:"per_target,omitempty"`
+
+	// Mixed mode only (-ingest-frac): the write side of the level. Read
+	// figures above exclude ingest requests.
+	IngestFrac     float64 `json:"ingest_frac,omitempty"`
+	IngestRequests int64   `json:"ingest_requests,omitempty"`
+	IngestQPS      float64 `json:"ingest_qps,omitempty"`
+	IngestP50us    int64   `json:"ingest_p50_us,omitempty"`
+	IngestP99us    int64   `json:"ingest_p99_us,omitempty"`
+	IngestShed     int64   `json:"ingest_shed,omitempty"`
+	// Compactions that completed inside this level's window.
+	Compactions int64 `json:"compactions,omitempty"`
 }
 
 // shardStat is one shard's counter deltas over a fleet sweep level.
@@ -370,6 +407,79 @@ func runSelf(n, dim, k int, seed int64, levels []int, precisions []serve.Precisi
 	return all, nil
 }
 
+// runMixedSelf benchmarks the streaming-ingest path under mixed load: the
+// in-process server fronts an ingest.Store (temp directory, background
+// compactor), and every round(1/frac)-th request of each client ingests its
+// query point instead of reading. Ingested points persist across levels, so
+// later levels run against a larger, partly-compacted base — like a real
+// ingesting node.
+func runMixedSelf(n, dim, k int, seed int64, levels []int, precisions []serve.Precision, dur time.Duration, queue, batchMax, workers int, frac float64, compactInt time.Duration) ([]levelResult, error) {
+	mdl, queries, err := prepareSelf(n, dim, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	every := int(1/frac + 0.5)
+	var all []levelResult
+	for _, prec := range precisions {
+		dir, err := os.MkdirTemp("", "serveload-ingest-")
+		if err != nil {
+			return nil, err
+		}
+		srv := serve.New(serve.Config{
+			BatchMax:   batchMax,
+			QueueDepth: queue,
+			Workers:    workers,
+		})
+		st, err := ingest.Open(ingest.Config{
+			Dir:       dir,
+			Precision: prec.String(),
+			Interval:  compactInt,
+			MinPoints: 1024,
+			OnSwap:    srv.UseEngine,
+		}, func() (*model.Model, error) { return mdl, nil })
+		if err != nil {
+			os.RemoveAll(dir) //nolint:errcheck
+			return nil, err
+		}
+		srv.SetIngest(st)
+		srv.UseEngine(st.Engine())
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			st.Close()        //nolint:errcheck
+			os.RemoveAll(dir) //nolint:errcheck
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "serveload: mixed %s: 1 ingest per %d requests, compacting every %s\n",
+			prec, every, compactInt)
+		for _, c := range levels {
+			info0 := st.Info()
+			r, err := runLevel([]string{srv.Addr()}, queries, c, dur, every)
+			if err != nil {
+				return nil, err
+			}
+			info1 := st.Info()
+			r.Mode, r.Precision = "mixed", prec.String()
+			r.IngestFrac = frac
+			r.Compactions = info1.Compactions - info0.Compactions
+			fmt.Fprintf(os.Stderr, "serveload: mixed/%s clients=%d: %d reads (%.0f qps, p99=%s), %d ingests (%.0f qps, p99=%s), %d compactions, base %d→%d rows\n",
+				prec, c, r.Requests, r.QPS, time.Duration(r.P99us)*time.Microsecond,
+				r.IngestRequests, r.IngestQPS, time.Duration(r.IngestP99us)*time.Microsecond,
+				r.Compactions, info0.BaseN, info1.BaseN)
+			all = append(all, *r)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		serr := srv.Shutdown(ctx)
+		cancel()
+		if cerr := st.Close(); serr == nil {
+			serr = cerr
+		}
+		os.RemoveAll(dir) //nolint:errcheck
+		if serr != nil {
+			return nil, serr
+		}
+	}
+	return all, nil
+}
+
 func queriesOf(ds *points.Dataset) [][]float64 {
 	qs := make([][]float64, ds.N())
 	for i, p := range ds.Points {
@@ -453,7 +563,7 @@ func runFleetSelf(n, dim, k int, seed int64, shardCounts, levels []int, dur time
 			s0 := snapShards()
 			pts0 := router.Counters().Get(fleet.CtrPoints)
 			spq0 := router.Counters().Get(fleet.CtrShardsPerQuery)
-			r, err := runLevel([]string{router.Addr()}, queries, c, dur)
+			r, err := runLevel([]string{router.Addr()}, queries, c, dur, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -516,7 +626,7 @@ func sweep(addrs []string, mode, prec string, queries [][]float64, levels []int,
 		if snap != nil {
 			pts0, cand0, rer0 = snap()
 		}
-		r, err := runLevel(addrs, queries, c, dur)
+		r, err := runLevel(addrs, queries, c, dur, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -537,15 +647,17 @@ func sweep(addrs []string, mode, prec string, queries [][]float64, levels []int,
 }
 
 // runLevel drives `clients` closed-loop clients for dur, assigned to the
-// targets round-robin.
-func runLevel(addrs []string, queries [][]float64, clients int, dur time.Duration) (*levelResult, error) {
+// targets round-robin. With ingestEvery > 0 every ingestEvery-th request of
+// each client POSTs its query point to /ingest instead of /assign; ingest
+// latency and sheds are accounted separately from reads.
+func runLevel(addrs []string, queries [][]float64, clients int, dur time.Duration, ingestEvery int) (*levelResult, error) {
 	transport := &http.Transport{MaxIdleConnsPerHost: clients}
 	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
 	defer transport.CloseIdleConnections()
 
 	type clientStats struct {
-		lat          []time.Duration
-		shed, errors int64
+		lat, ingLat           []time.Duration
+		shed, ingShed, errors int64
 	}
 	stats := make([]clientStats, clients)
 	deadline := time.Now().Add(dur)
@@ -555,9 +667,14 @@ func runLevel(addrs []string, queries [][]float64, clients int, dur time.Duratio
 		go func(c int) {
 			defer wg.Done()
 			st := &stats[c]
-			url := "http://" + addrs[c%len(addrs)] + "/assign"
+			base := "http://" + addrs[c%len(addrs)]
 			for i := c; time.Now().Before(deadline); i++ {
 				q := queries[i%len(queries)]
+				ingesting := ingestEvery > 0 && i%ingestEvery == 0
+				url := base + "/assign"
+				if ingesting {
+					url = base + "/ingest"
+				}
 				body, _ := json.Marshal(map[string][][]float64{"points": {q}})
 				start := time.Now()
 				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
@@ -567,10 +684,14 @@ func runLevel(addrs []string, queries [][]float64, clients int, dur time.Duratio
 				}
 				io.Copy(io.Discard, resp.Body) //nolint:errcheck
 				resp.Body.Close()
-				switch resp.StatusCode {
-				case http.StatusOK:
+				switch {
+				case resp.StatusCode == http.StatusOK && ingesting:
+					st.ingLat = append(st.ingLat, time.Since(start))
+				case resp.StatusCode == http.StatusOK:
 					st.lat = append(st.lat, time.Since(start))
-				case http.StatusTooManyRequests:
+				case resp.StatusCode == http.StatusTooManyRequests && ingesting:
+					st.ingShed++
+				case resp.StatusCode == http.StatusTooManyRequests:
 					st.shed++
 				default:
 					st.errors++
@@ -581,11 +702,13 @@ func runLevel(addrs []string, queries [][]float64, clients int, dur time.Duratio
 	wg.Wait()
 
 	r := &levelResult{Clients: clients, DurationS: dur.Seconds()}
-	var all []time.Duration
+	var all, allIng []time.Duration
 	perTarget := make([]targetStat, len(addrs))
 	for i := range stats {
 		all = append(all, stats[i].lat...)
+		allIng = append(allIng, stats[i].ingLat...)
 		r.Shed += stats[i].shed
+		r.IngestShed += stats[i].ingShed
 		r.Errors += stats[i].errors
 		t := &perTarget[i%len(addrs)]
 		t.Requests += int64(len(stats[i].lat))
@@ -607,6 +730,13 @@ func runLevel(addrs []string, queries [][]float64, clients int, dur time.Duratio
 		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
 		r.P50us = all[len(all)/2].Microseconds()
 		r.P99us = all[(len(all)*99)/100].Microseconds()
+	}
+	if len(allIng) > 0 {
+		sort.Slice(allIng, func(a, b int) bool { return allIng[a] < allIng[b] })
+		r.IngestRequests = int64(len(allIng))
+		r.IngestQPS = float64(len(allIng)) / dur.Seconds()
+		r.IngestP50us = allIng[len(allIng)/2].Microseconds()
+		r.IngestP99us = allIng[(len(allIng)*99)/100].Microseconds()
 	}
 	return r, nil
 }

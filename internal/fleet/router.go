@@ -205,6 +205,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	r.mux = http.NewServeMux()
 	r.mux.HandleFunc("POST /assign", r.handleAssign)
+	r.mux.HandleFunc("POST /ingest", r.handleIngest)
 	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
 	r.mux.HandleFunc("GET /statsz", r.handleStatsz)
 	return r, nil

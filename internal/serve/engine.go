@@ -489,6 +489,22 @@ func (e *Engine) candidates(q points.Vector, s *scratch) []int32 {
 	return s.cand
 }
 
+// CandidateRows appends the deduplicated LSH candidate-bucket union of q
+// to dst and reports whether the engine has a pruned index at all (an
+// engine built without LSH parameters returns dst unchanged and false —
+// the caller owns the full-scan fallback). The ingest layer uses this to
+// find the stored rows a new point adds density mass to; query answering
+// stays on AssignBatchOpts.
+func (e *Engine) CandidateRows(q points.Vector, dst []int32) ([]int32, bool) {
+	if e.layouts == nil {
+		return dst, false
+	}
+	s := e.scratch.Get().(*scratch)
+	dst = append(dst, e.candidates(q, s)...)
+	e.scratch.Put(s)
+	return dst, true
+}
+
 // candidatesMasked gathers q's candidates from the layouts selected by
 // mask. A row sitting in several of q's buckets must be scanned by exactly
 // one shard fleet-wide, so each row goes to its FIRST matching layout in a

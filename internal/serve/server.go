@@ -208,6 +208,11 @@ type Server struct {
 	counters *mapreduce.Counters
 	hist     Hist
 	batchID  atomic.Int64
+	// ingest, when non-nil, is the streaming-ingest backend (SetIngest):
+	// scans route through it and /ingest + /compact are live. Set before
+	// Start, never mutated after.
+	ingest     IngestBackend
+	ingestHist Hist
 
 	mux      *http.ServeMux
 	httpSrv  *http.Server
@@ -229,6 +234,8 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /assign", s.handleAssign)
 	s.mux.HandleFunc("POST /fleet/assign", s.handleFleetAssign)
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /compact", s.handleCompact)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("POST /reload", s.handleReload)
@@ -461,7 +468,13 @@ func (s *Server) process(batch []*request) {
 		case modeExact:
 			opts = BatchOpts{ExactOnly: true}
 		}
-		out, errs, st := eng.AssignBatchOpts(qs, opts)
+		assign := eng.AssignBatchOpts
+		if s.ingest != nil {
+			// Ingest mode: answer against base + delta so points become
+			// visible the moment they are acked, not after compaction.
+			assign = s.ingest.AssignBatch
+		}
+		out, errs, st := assign(qs, opts)
 		off := 0
 		for _, r := range live {
 			n := len(r.qs)
@@ -772,8 +785,13 @@ type Statsz struct {
 	Model    *ModelInfo       `json:"model,omitempty"`
 	Counters map[string]int64 `json:"counters"`
 	Latency  LatencyInfo      `json:"latency"`
-	Queue    QueueInfo        `json:"queue"`
-	Draining bool             `json:"draining"`
+	// Ingest and IngestLatency appear only on ingest nodes: the backend
+	// state snapshot and the /ingest request-latency quantiles (the
+	// ingest.* / compact.* counters are merged into Counters).
+	Ingest        *IngestInfo  `json:"ingest,omitempty"`
+	IngestLatency *LatencyInfo `json:"ingest_latency,omitempty"`
+	Queue         QueueInfo    `json:"queue"`
+	Draining      bool         `json:"draining"`
 }
 
 // ModelInfo summarizes the loaded model for /statsz.
@@ -827,6 +845,19 @@ func (s *Server) Stats() Statsz {
 			Precision: eng.Precision().String(),
 		}
 	}
+	if b := s.ingest; b != nil {
+		info := b.Info()
+		st.Ingest = &info
+		st.IngestLatency = &LatencyInfo{
+			Count: s.ingestHist.Count(),
+			P50us: s.ingestHist.Quantile(0.50).Microseconds(),
+			P90us: s.ingestHist.Quantile(0.90).Microseconds(),
+			P99us: s.ingestHist.Quantile(0.99).Microseconds(),
+		}
+		for k, v := range b.Counters() {
+			st.Counters[k] = v
+		}
+	}
 	return st
 }
 
@@ -838,6 +869,12 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
+	if s.ingest != nil {
+		// The compactor owns the model lineage on an ingest node; an
+		// external reload would silently drop the delta segment.
+		http.Error(w, "ingest mode: the compactor manages the model (use POST /compact)", http.StatusConflict)
+		return
+	}
 	if err := s.Reload(); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
