@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet doccheck race bench bench-hot bench-scan bench-scan-smoke bench-shuffle bench-serve bench-fleet bench-fleet-smoke bench-ingest bench-ingest-smoke bench-dag bench-dag-smoke experiments examples clean
+.PHONY: all check build test test-short vet doccheck race bench bench-hot bench-scan bench-scan-smoke bench-shuffle bench-serve bench-fleet bench-fleet-smoke bench-ingest bench-ingest-smoke bench-knn bench-knn-smoke bench-dag bench-dag-smoke experiments examples clean
 
 all: check
 
@@ -10,8 +10,9 @@ all: check
 # README knob reference), run the test suite, re-run the concurrency-heavy
 # packages under the race detector, and smoke the DAG scheduler's
 # cache-reuse win, the compact scan kernels, the sharded-fleet serving
-# path, and the streaming-ingest path.
-check: build vet doccheck test race bench-dag-smoke bench-scan-smoke bench-fleet-smoke bench-ingest-smoke
+# path, the streaming-ingest path, and the kNN-join (both arms,
+# bit-identity checked).
+check: build vet doccheck test race bench-dag-smoke bench-scan-smoke bench-fleet-smoke bench-ingest-smoke bench-knn-smoke
 
 build:
 	$(GO) build ./...
@@ -39,7 +40,7 @@ test-short:
 # whose concurrent node dispatch is the newest race surface; ingest for the
 # WAL-backed store's concurrent writers, query merges, and compaction swap.
 race:
-	$(GO) test -race ./internal/mapreduce/... ./internal/mapreduce/rpcmr/... ./internal/kernels/... ./internal/points/... ./internal/dfs/... ./internal/chaos/... ./internal/serve/... ./internal/model/... ./internal/fleet/... ./internal/ingest/...
+	$(GO) test -race ./internal/mapreduce/... ./internal/mapreduce/rpcmr/... ./internal/kernels/... ./internal/points/... ./internal/dfs/... ./internal/chaos/... ./internal/serve/... ./internal/model/... ./internal/fleet/... ./internal/ingest/... ./internal/knnjoin/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -58,16 +59,17 @@ bench-hot:
 		-benchtime $(BENCHTIME) -count $(BENCHCOUNT) ./internal/mapreduce/
 
 # Compact scan-path micro-benchmarks: f64 vs f32 vs q8 single-query NN,
-# multi-query NNBatch, and compact ρ accumulation (numbers feed
-# BENCH_PR7.json alongside bench-serve's end-to-end sweep).
+# multi-query NNBatch, top-k selection, and compact ρ accumulation
+# (numbers feed BENCH_PR7.json / BENCH_PR10.json alongside the end-to-end
+# sweeps).
 bench-scan:
-	$(GO) test -bench 'NNScan|NNBatch|CompactRho' -run '^$$' -benchmem \
+	$(GO) test -bench 'NNScan|NNBatch|CompactRho|TopK' -run '^$$' -benchmem \
 		-benchtime $(BENCHTIME) -count $(BENCHCOUNT) ./internal/kernels/
 
 # One fast iteration per scan benchmark for the check gate and CI: catches
 # a compact kernel that stops compiling or panics on real shapes.
 bench-scan-smoke:
-	$(GO) test -bench 'NNScan|NNBatch|CompactRho' -run '^$$' -benchtime 1x ./internal/kernels/
+	$(GO) test -bench 'NNScan|NNBatch|CompactRho|TopK' -run '^$$' -benchtime 1x ./internal/kernels/
 
 # Shuffle transport comparison: legacy gob-RPC vs framed-TCP streaming vs
 # framed+flate, at 1/16/64MB partitions (numbers recorded in BENCH_PR3.json).
@@ -145,6 +147,23 @@ bench-ingest-smoke:
 	$(GO) run ./cmd/serveload -self -n 20000 -dim 4 -k 8 \
 		-ingest-frac 0.1 -ingest-compact-interval 500ms \
 		-clients 8 -duration 1s -json > /dev/null
+
+# kNN-join benchmark: LSH-bucketed join vs the broadcast-naive exact join
+# on one generated R/S pair, bit-identity verified between the arms
+# (numbers recorded in BENCH_PR10.json):
+#
+#	make bench-knn KNN_N=100000 KNN_NQ=10000 KNN_DIM=8 KNN_K=10
+KNN_N ?= 100000
+KNN_NQ ?= 10000
+KNN_DIM ?= 8
+KNN_K ?= 10
+bench-knn:
+	$(GO) run ./cmd/knnbench -n $(KNN_N) -nq $(KNN_NQ) -dim $(KNN_DIM) -k $(KNN_K) -json
+
+# Small fixed-size variant for the check gate and CI: runs both join arms
+# end to end and fails loudly if they stop agreeing bit for bit.
+bench-knn-smoke:
+	$(GO) run ./cmd/knnbench -n 3000 -nq 300 -dim 4 -k 5 -json > /dev/null
 
 # DAG scheduler comparison: hand-sequenced-equivalent fresh sessions vs a
 # shared cached session, over repeated LSH-DDP + halo runs (wall, job

@@ -5,23 +5,30 @@
 //	datagen -list
 //	datagen -dataset S2 -o s2.csv
 //	datagen -dataset BigCross500K -n 10000 -seed 7 -o big.csv
+//	datagen -dataset BigCross500K -split 1000:9000 -seed 7 -o big.csv
+//
+// -split R:S draws R+S points and shuffles them into two disjoint files
+// (a query set and a base set for the kNN-join tools), written next to -o
+// with -R / -S inserted before the extension.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/dataset"
 )
 
 func main() {
 	var (
-		name = flag.String("dataset", "", "data set name (see -list)")
-		n    = flag.Int("n", 0, "override the generated size (0 = registry size)")
-		seed = flag.Int64("seed", 42, "generation seed")
-		out  = flag.String("o", "-", "output file ('-' = stdout)")
-		list = flag.Bool("list", false, "list available data sets")
+		name  = flag.String("dataset", "", "data set name (see -list)")
+		n     = flag.Int("n", 0, "override the generated size (0 = registry size)")
+		seed  = flag.Int64("seed", 42, "generation seed")
+		out   = flag.String("o", "-", "output file ('-' = stdout)")
+		list  = flag.Bool("list", false, "list available data sets")
+		split = flag.String("split", "", "emit a disjoint R:S pair (e.g. 1000:9000); needs -o")
 	)
 	flag.Parse()
 
@@ -39,6 +46,30 @@ func main() {
 	spec, err := dataset.Get(*name)
 	fatal(err)
 	ds := spec.Gen(*seed)
+	if *split != "" {
+		var nR, nS int
+		if _, err := fmt.Sscanf(*split, "%d:%d", &nR, &nS); err != nil || nR < 1 || nS < 1 {
+			fatal(fmt.Errorf("bad -split %q, want R:S with positive counts", *split))
+		}
+		if *out == "-" || *out == "" {
+			fatal(fmt.Errorf("-split needs -o (two files are written)"))
+		}
+		if nR+nS > ds.N() {
+			fatal(fmt.Errorf("split %d+%d exceeds the %d points %s generates", nR, nS, ds.N(), *name))
+		}
+		ds.Points = ds.Points[:nR+nS]
+		if ds.Labels != nil {
+			ds.Labels = ds.Labels[:nR+nS]
+		}
+		R, S, err := dataset.Split(ds, nR, *seed)
+		fatal(err)
+		for _, half := range []*dataset.DS{R, S} {
+			path := splitPath(*out, half.Name[strings.LastIndexByte(half.Name, '-')+1:])
+			fatal(dataset.WriteCSVFile(path, half))
+			fmt.Fprintf(os.Stderr, "datagen: wrote %d points (dim %d) to %s\n", half.N(), half.Dim(), path)
+		}
+		return
+	}
 	if *n > 0 {
 		if *n > ds.N() {
 			fatal(fmt.Errorf("requested %d points but %s generates %d; raise the registry size instead", *n, *name, ds.N()))
@@ -54,6 +85,14 @@ func main() {
 	}
 	fatal(dataset.WriteCSVFile(*out, ds))
 	fmt.Fprintf(os.Stderr, "datagen: wrote %d points (dim %d) to %s\n", ds.N(), ds.Dim(), *out)
+}
+
+// splitPath inserts -R / -S before the extension: big.csv → big-R.csv.
+func splitPath(out, side string) string {
+	if i := strings.LastIndexByte(out, '.'); i > strings.LastIndexByte(out, '/') {
+		return out[:i] + "-" + side + out[i:]
+	}
+	return out + "-" + side
 }
 
 func fatal(err error) {

@@ -37,6 +37,7 @@ import (
 	"repro/internal/dp"
 	"repro/internal/eddpc"
 	"repro/internal/kmeansmr"
+	"repro/internal/knnjoin"
 	"repro/internal/mapreduce"
 	"repro/internal/mapreduce/rpcmr"
 	"repro/internal/obs"
@@ -266,6 +267,7 @@ func init() {
 	rpcmr.RegisterJobs(core.HaloJobFactories())
 	rpcmr.RegisterJobs(eddpc.JobFactories())
 	rpcmr.RegisterJobs(kmeansmr.JobFactories())
+	rpcmr.RegisterJobs(knnjoin.JobFactories())
 }
 
 func fatal(err error) {

@@ -32,6 +32,7 @@ import (
 	"repro/internal/dfsio"
 	"repro/internal/eddpc"
 	"repro/internal/kmeansmr"
+	"repro/internal/knnjoin"
 	"repro/internal/mapreduce/rpcmr"
 	"repro/internal/obs"
 )
@@ -141,6 +142,7 @@ func registerAllJobs() {
 	rpcmr.RegisterJobs(core.HaloJobFactories())
 	rpcmr.RegisterJobs(eddpc.JobFactories())
 	rpcmr.RegisterJobs(kmeansmr.JobFactories())
+	rpcmr.RegisterJobs(knnjoin.JobFactories())
 }
 
 func runNameNode(args []string) {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/eddpc"
 	"repro/internal/kmeansmr"
+	"repro/internal/knnjoin"
 	"repro/internal/mapreduce"
 	"repro/internal/mapreduce/rpcmr"
 )
@@ -80,6 +81,7 @@ func main() {
 	rpcmr.RegisterJobs(core.JobFactories())
 	rpcmr.RegisterJobs(eddpc.JobFactories())
 	rpcmr.RegisterJobs(kmeansmr.JobFactories())
+	rpcmr.RegisterJobs(knnjoin.JobFactories())
 
 	master, err := rpcmr.NewMaster("127.0.0.1:0")
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/eddpc"
 	"repro/internal/evalmetrics"
 	"repro/internal/kmeansmr"
+	"repro/internal/knnjoin"
 	"repro/internal/mapreduce"
 	"repro/internal/mapreduce/rpcmr"
 )
@@ -89,6 +90,7 @@ func TestFullDistributedPipeline(t *testing.T) {
 	rpcmr.RegisterJobs(core.HaloJobFactories())
 	rpcmr.RegisterJobs(eddpc.JobFactories())
 	rpcmr.RegisterJobs(kmeansmr.JobFactories())
+	rpcmr.RegisterJobs(knnjoin.JobFactories())
 	master, err := rpcmr.NewMaster("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

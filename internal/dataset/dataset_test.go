@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -242,5 +243,53 @@ func TestReadCSVErrors(t *testing.T) {
 	empty, err := ReadCSV(bytes.NewReader(nil), "empty", false)
 	if err != nil || empty.N() != 0 {
 		t.Fatalf("empty CSV: %v %v", empty.N(), err)
+	}
+}
+
+func TestSplitDisjointDeterministic(t *testing.T) {
+	ds := Blobs("split-src", 200, 3, 4, 50, 2, 5)
+	R, S, err := Split(ds, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if R.N() != 60 || S.N() != 140 {
+		t.Fatalf("sizes %d/%d, want 60/140", R.N(), S.N())
+	}
+	if err := R.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := S.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	key := func(p points.Point) string { return fmt.Sprintf("%v", p.Pos) }
+	seen := map[string]int{}
+	for _, p := range ds.Points {
+		seen[key(p)]++
+	}
+	for _, half := range []*points.Dataset{R, S} {
+		for _, p := range half.Points {
+			if seen[key(p)] == 0 {
+				t.Fatalf("%s holds a point not in (or over-drawn from) the source: %v", half.Name, p.Pos)
+			}
+			seen[key(p)]--
+		}
+	}
+	R2, S2, err := Split(ds, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range R.Points {
+		if key(R.Points[i]) != key(R2.Points[i]) {
+			t.Fatal("split is not deterministic for the same seed")
+		}
+	}
+	if len(S2.Points) != len(S.Points) {
+		t.Fatal("split is not deterministic for the same seed")
+	}
+	if _, _, err := Split(ds, 0, 1); err == nil {
+		t.Fatal("size 0 split should fail")
+	}
+	if _, _, err := Split(ds, ds.N(), 1); err == nil {
+		t.Fatal("full-size split should fail")
 	}
 }

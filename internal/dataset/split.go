@@ -1,0 +1,33 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/points"
+)
+
+// Split partitions ds into two disjoint data sets of nFirst and
+// n−nFirst points by a seeded shuffle — the generator of the kNN-join
+// benchmarks' query/base pairs. Both halves are renumbered to dense IDs
+// (the repository-wide dataset invariant) and carry ds's labels when
+// present; the same (ds, nFirst, seed) always yields the same split.
+func Split(ds *points.Dataset, nFirst int, seed int64) (*points.Dataset, *points.Dataset, error) {
+	if nFirst < 1 || nFirst >= ds.N() {
+		return nil, nil, fmt.Errorf("dataset: split size %d outside (0, %d)", nFirst, ds.N())
+	}
+	perm := points.NewRand(seed).Perm(ds.N())
+	take := func(name string, idx []int) *points.Dataset {
+		out := &points.Dataset{Name: name, Points: make([]points.Point, len(idx))}
+		if ds.Labels != nil {
+			out.Labels = make([]int, len(idx))
+		}
+		for i, j := range idx {
+			out.Points[i] = points.Point{ID: int32(i), Pos: ds.Points[j].Pos}
+			if ds.Labels != nil {
+				out.Labels[i] = ds.Labels[j]
+			}
+		}
+		return out
+	}
+	return take(ds.Name+"-R", perm[:nFirst]), take(ds.Name+"-S", perm[nFirst:]), nil
+}

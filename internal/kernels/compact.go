@@ -276,23 +276,9 @@ func NNRange32(data32 []float32, dim int, q32 []float32, lo, hi int, sl *Shortli
 // flat (len(sls)*dim); each shortlist must be Reset by the caller. Per
 // query the rows arrive in ascending order, exactly as in NNRange32.
 func NNBatch32(data32 []float32, dim int, qs32 []float32, lo, hi int, sls []Shortlist) {
-	nq := len(sls)
-	for t := lo; t < hi; t += nnTile {
-		tHi := minInt(t+nnTile, hi)
-		for qi := 0; qi < nq; qi++ {
-			q := qs32[qi*dim : (qi+1)*dim]
-			sl := &sls[qi]
-			thr := sl.thr
-			for i := t; i < tHi; i++ {
-				d2 := sqDist32(q, data32[i*dim:(i+1)*dim], dim)
-				if float64(d2) > thr {
-					continue
-				}
-				sl.observe(int32(i), d2)
-				thr = sl.thr
-			}
-		}
-	}
+	batchTiles(lo, hi, len(sls), func(qi, tLo, tHi int) {
+		NNRange32(data32, dim, qs32[qi*dim:(qi+1)*dim], tLo, tHi, &sls[qi])
+	})
 }
 
 // Q8LUT is the per-query lookup table of a quantized scan: Tab[d·256+c] is
@@ -366,21 +352,7 @@ func NNRangeQ8(codes []uint8, dim int, lut *Q8LUT, lo, hi int, sl *Shortlist) {
 // parallel per-query slices, and one pass over each row tile of the code
 // block feeds every query's shortlist.
 func NNBatchQ8(codes []uint8, dim int, luts []Q8LUT, lo, hi int, sls []Shortlist) {
-	nq := len(sls)
-	for t := lo; t < hi; t += nnTile {
-		tHi := minInt(t+nnTile, hi)
-		for qi := 0; qi < nq; qi++ {
-			tab := luts[qi].Tab
-			sl := &sls[qi]
-			thr := sl.thr
-			for i := t; i < tHi; i++ {
-				d2 := q8Dist(codes[i*dim:(i+1)*dim], tab)
-				if float64(d2) > thr {
-					continue
-				}
-				sl.observe(int32(i), d2)
-				thr = sl.thr
-			}
-		}
-	}
+	batchTiles(lo, hi, len(sls), func(qi, tLo, tHi int) {
+		NNRangeQ8(codes, dim, &luts[qi], tLo, tHi, &sls[qi])
+	})
 }

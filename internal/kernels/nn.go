@@ -14,7 +14,15 @@ package kernels
 // length dim) and returns the row index nearest to q plus the squared
 // distance. Returns (-1, +Inf) on an empty range.
 func NNRange(data []float64, dim int, q []float64, lo, hi int) (int, float64) {
-	best, best2 := -1, inf
+	return nnScanRange(data, dim, q, lo, hi, -1, inf)
+}
+
+// nnScanRange extends a running (best, best2) with rows [lo, hi) — the one
+// scan loop behind NNRange and NNBatch, so the single- and multi-query
+// paths cannot drift. Rows are visited in ascending order; a row wins only
+// on a strictly smaller distance, preserving the lowest-row-index tie rule
+// across any tiling of the range.
+func nnScanRange(data []float64, dim int, q []float64, lo, hi, best int, best2 float64) (int, float64) {
 	if dim == 2 {
 		qx, qy := q[0], q[1]
 		for i := lo; i < hi; i++ {

@@ -12,6 +12,22 @@ package kernels
 // query batch runs over them.
 const nnTile = 128
 
+// batchTiles drives one tiled multi-query scan: rows [lo, hi) are visited
+// in nnTile-row tiles, and within each tile every query index [0, nq)
+// scans the tile's rows in ascending order via scan(qi, tLo, tHi). Every
+// batch kernel — NNBatch, NNBatch32, NNBatchQ8, TopKBatch, TopKBatch32 —
+// runs on this one loop, so the tiling cannot drift between them; per
+// query the visit order is identical to the flat [lo, hi) scan, which
+// keeps each batched result bit-identical to its single-query kernel.
+func batchTiles(lo, hi, nq int, scan func(qi, tLo, tHi int)) {
+	for t := lo; t < hi; t += nnTile {
+		tHi := minInt(t+nnTile, hi)
+		for qi := 0; qi < nq; qi++ {
+			scan(qi, t, tHi)
+		}
+	}
+}
+
 // NNBatch scans rows [lo, hi) of data (rows of length dim) for every query
 // in qs (flat, len(best)*dim) and writes the nearest row index and squared
 // distance into best/best2 (len = number of queries). Each query's result
@@ -22,31 +38,8 @@ func NNBatch(data []float64, dim int, qs []float64, lo, hi int, best []int32, be
 	for i := 0; i < nq; i++ {
 		best[i], best2[i] = -1, inf
 	}
-	for t := lo; t < hi; t += nnTile {
-		tHi := minInt(t+nnTile, hi)
-		for qi := 0; qi < nq; qi++ {
-			b, b2 := int(best[qi]), best2[qi]
-			if dim == 2 {
-				qx, qy := qs[2*qi], qs[2*qi+1]
-				for i := t; i < tHi; i++ {
-					d0 := qx - data[2*i]
-					d1 := qy - data[2*i+1]
-					d2 := d0 * d0
-					d2 += d1 * d1
-					if d2 < b2 {
-						b, b2 = i, d2
-					}
-				}
-			} else {
-				q := qs[qi*dim : (qi+1)*dim]
-				for i := t; i < tHi; i++ {
-					d2 := sqDistFlat(q, data[i*dim:(i+1)*dim], dim)
-					if d2 < b2 {
-						b, b2 = i, d2
-					}
-				}
-			}
-			best[qi], best2[qi] = int32(b), b2
-		}
-	}
+	batchTiles(lo, hi, nq, func(qi, tLo, tHi int) {
+		b, b2 := nnScanRange(data, dim, qs[qi*dim:(qi+1)*dim], tLo, tHi, int(best[qi]), best2[qi])
+		best[qi], best2[qi] = int32(b), b2
+	})
 }

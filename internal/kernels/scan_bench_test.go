@@ -130,6 +130,40 @@ func BenchmarkNNBatch(b *testing.B) {
 	})
 }
 
+// BenchmarkTopKScan measures the k=10 top-k shapes the kNN-join reducers
+// run: a 64-query batch over a 200k×8 block, per precision (the f32 arm
+// includes the exact re-rank of each shortlist).
+func BenchmarkTopKScan(b *testing.B) {
+	const nq, k = 64, 10
+	f := newScanFixture(b, 200_000, 8, nq)
+	b.Run("f64", func(b *testing.B) {
+		b.SetBytes(int64(f.n * f.dim * 8 * nq))
+		accs := make([]TopKAcc, nq)
+		for i := 0; i < b.N; i++ {
+			for qi := range accs {
+				accs[qi].Reset(k)
+			}
+			TopKBatch(f.data, f.dim, f.qs, 0, f.n, accs)
+		}
+	})
+	b.Run("f32", func(b *testing.B) {
+		b.SetBytes(int64(f.n * f.dim * 4 * nq))
+		bnd := F32Bounds(f.dim, f.maxAbs)
+		sls := make([]TopKShortlist, nq)
+		accs := make([]TopKAcc, nq)
+		for i := 0; i < b.N; i++ {
+			for qi := range sls {
+				sls[qi].Reset(k, bnd)
+				accs[qi].Reset(k)
+			}
+			TopKBatch32(f.data32, f.dim, f.qs32, 0, f.n, sls)
+			for qi := range sls {
+				TopKRows(f.data, f.dim, f.qs[qi*f.dim:(qi+1)*f.dim], sls[qi].Finish(), &accs[qi])
+			}
+		}
+	})
+}
+
 func BenchmarkCompactRho(b *testing.B) {
 	const n, dim = 4000, 8
 	f := newScanFixture(b, n, dim, 1)

@@ -1,0 +1,197 @@
+package kernels
+
+// Top-k nearest-neighbor scan kernels for the kNN-join subsystem: given a
+// query position and a flat SoA coordinate block, maintain the k nearest
+// rows instead of the single nearest. The accumulator is a fixed-size
+// binary max-heap ordered by (squared distance, row index), so the root is
+// always the worst kept entry and a scanned row pays one comparison against
+// it in the common reject case.
+//
+// The tie rule extends the NN kernels' "lowest row index wins": when a new
+// row ties the current k-th distance, it displaces the kept entry only if
+// its row index is lower, and Append returns entries sorted ascending by
+// (distance, row). A row whose squared distance is not finite (+Inf from
+// overflow, NaN from Inf−Inf) is ineligible, matching NNRange's "(-1, +Inf)
+// when no row has a finite distance" contract — so the result set depends
+// only on which rows were observed, never on observation order, and any
+// tiling or chunking of a scan is bit-identical to the flat loop.
+
+import "sort"
+
+// TopKEntry is one kept neighbor: a matrix row index and its exact squared
+// distance to the query.
+type TopKEntry struct {
+	Row int32
+	D2  float64
+}
+
+// topkWorse reports whether entry a ranks strictly worse than entry b under
+// the scan order: larger squared distance, higher row index on ties.
+func topkWorse(a, b TopKEntry) bool {
+	return a.D2 > b.D2 || (a.D2 == b.D2 && a.Row > b.Row)
+}
+
+// TopKAcc accumulates the k nearest rows observed so far. The zero value is
+// unusable; call Reset (or NewTopKAcc) with k ≥ 1 first. One accumulator is
+// reusable across queries via Reset, keeping its heap storage.
+type TopKAcc struct {
+	k int
+	h []TopKEntry // max-heap under topkWorse; h[0] is the worst kept entry
+}
+
+// NewTopKAcc returns an accumulator holding up to k rows.
+func NewTopKAcc(k int) *TopKAcc {
+	a := &TopKAcc{}
+	a.Reset(k)
+	return a
+}
+
+// Reset empties the accumulator for a new query keeping storage; k must be
+// at least 1.
+func (a *TopKAcc) Reset(k int) {
+	if k < 1 {
+		panic("kernels: TopKAcc needs k >= 1")
+	}
+	a.k = k
+	a.h = a.h[:0]
+}
+
+// K returns the configured capacity.
+func (a *TopKAcc) K() int { return a.k }
+
+// Len returns the number of rows currently held (≤ k; fewer than k when the
+// scan saw fewer than k rows with finite distances).
+func (a *TopKAcc) Len() int { return len(a.h) }
+
+// Threshold returns the squared distance a new row must beat — or tie with
+// a lower row index — to enter the accumulator: the current k-th best
+// distance once full, +Inf before that. Callers hoist it as the hot-loop
+// early reject (strict `d2 > Threshold()` skips; ties still reach observe
+// for the row-index comparison).
+func (a *TopKAcc) Threshold() float64 {
+	if len(a.h) < a.k {
+		return inf
+	}
+	return a.h[0].D2
+}
+
+// observe folds one scanned row into the heap. Non-finite distances are
+// ineligible (see the package comment above).
+func (a *TopKAcc) observe(row int32, d2 float64) {
+	if !(d2 < inf) {
+		return
+	}
+	if len(a.h) < a.k {
+		a.h = append(a.h, TopKEntry{Row: row, D2: d2})
+		a.siftUp(len(a.h) - 1)
+		return
+	}
+	r := a.h[0]
+	if d2 < r.D2 || (d2 == r.D2 && row < r.Row) {
+		a.h[0] = TopKEntry{Row: row, D2: d2}
+		a.siftDown(0)
+	}
+}
+
+func (a *TopKAcc) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !topkWorse(a.h[i], a.h[p]) {
+			return
+		}
+		a.h[i], a.h[p] = a.h[p], a.h[i]
+		i = p
+	}
+}
+
+func (a *TopKAcc) siftDown(i int) {
+	n := len(a.h)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if r := c + 1; r < n && topkWorse(a.h[r], a.h[c]) {
+			c = r
+		}
+		if !topkWorse(a.h[c], a.h[i]) {
+			return
+		}
+		a.h[i], a.h[c] = a.h[c], a.h[i]
+		i = c
+	}
+}
+
+// Append appends the kept entries to dst sorted ascending by (distance,
+// row) and returns the extended slice. The accumulator is left intact.
+func (a *TopKAcc) Append(dst []TopKEntry) []TopKEntry {
+	off := len(dst)
+	dst = append(dst, a.h...)
+	out := dst[off:]
+	sort.Slice(out, func(i, j int) bool { return topkWorse(out[j], out[i]) })
+	return dst
+}
+
+// topkScanRange extends acc with rows [lo, hi) of the flat row-major block
+// data, sharing sqDistFlat's arithmetic (and its dim-2 unrolled statement
+// shape) with the NN kernels so distances are bit-identical across both.
+func topkScanRange(data []float64, dim int, q []float64, lo, hi int, acc *TopKAcc) {
+	thr := acc.Threshold()
+	if dim == 2 {
+		qx, qy := q[0], q[1]
+		for i := lo; i < hi; i++ {
+			d0 := qx - data[2*i]
+			d1 := qy - data[2*i+1]
+			d2 := d0 * d0
+			d2 += d1 * d1
+			if d2 > thr {
+				continue
+			}
+			acc.observe(int32(i), d2)
+			thr = acc.Threshold()
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		d2 := sqDistFlat(q, data[i*dim:(i+1)*dim], dim)
+		if d2 > thr {
+			continue
+		}
+		acc.observe(int32(i), d2)
+		thr = acc.Threshold()
+	}
+}
+
+// TopKRange scans rows [lo, hi) of data (rows of length dim) into acc,
+// which the caller has Reset for this query.
+func TopKRange(data []float64, dim int, q []float64, lo, hi int, acc *TopKAcc) {
+	topkScanRange(data, dim, q, lo, hi, acc)
+}
+
+// TopKRows scans only the listed rows into acc. Order does not matter, but
+// unlike NNRows the rows must be distinct: a duplicated row would occupy
+// two of the k slots. (Shortlists produced by the compact kernels list each
+// row at most once.)
+func TopKRows(data []float64, dim int, q []float64, rows []int32, acc *TopKAcc) {
+	thr := acc.Threshold()
+	for _, r := range rows {
+		i := int(r)
+		d2 := sqDistFlat(q, data[i*dim:(i+1)*dim], dim)
+		if d2 > thr {
+			continue
+		}
+		acc.observe(r, d2)
+		thr = acc.Threshold()
+	}
+}
+
+// TopKBatch is the multi-query variant of TopKRange: one pass over each row
+// tile serves every query in the batch (qs flat, len(accs)*dim), exactly
+// like NNBatch. Each accumulator must be Reset by the caller; per query the
+// rows arrive in ascending order and the result is bit-identical to a
+// standalone TopKRange call.
+func TopKBatch(data []float64, dim int, qs []float64, lo, hi int, accs []TopKAcc) {
+	batchTiles(lo, hi, len(accs), func(qi, tLo, tHi int) {
+		topkScanRange(data, dim, qs[qi*dim:(qi+1)*dim], tLo, tHi, &accs[qi])
+	})
+}

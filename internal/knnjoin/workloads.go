@@ -1,0 +1,147 @@
+package knnjoin
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mapreduce/dag"
+	"repro/internal/points"
+)
+
+// The three workloads built on the join primitive: distance-based outlier
+// detection (top-n by k-distance), k-distance profiles for DBSCAN eps
+// selection, and batch nearest-centroid scoring. The first two are
+// self-joins — each point queries the data set it belongs to — run at
+// k+1 so the query's own zero-distance entry can be discarded.
+
+// KDistances returns the k-distance (distance to the k-th nearest OTHER
+// point) of every point of ds, via a bucketed self-join at k+1. Requires
+// at least k+1 points so every point has k proper neighbors.
+func KDistances(ctx context.Context, sess *dag.Session, ds *points.Dataset, k int, cfg Config) ([]float64, *Result, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("knnjoin: k must be at least 1, got %d", k)
+	}
+	if ds.N() < k+1 {
+		return nil, nil, fmt.Errorf("knnjoin: k-distance needs at least k+1 = %d points, have %d", k+1, ds.N())
+	}
+	res, err := Run(ctx, sess, ds, ds, k+1, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	kd := make([]float64, ds.N())
+	for qid, ns := range res.Neighbors {
+		ns = dropSelf(ns, int32(qid))
+		if len(ns) < k {
+			return nil, nil, fmt.Errorf("knnjoin: query %d has %d neighbors, want %d", qid, len(ns), k)
+		}
+		res.Neighbors[qid] = ns
+		kd[qid] = math.Sqrt(ns[k-1].D2)
+	}
+	return kd, res, nil
+}
+
+// dropSelf removes the query's own entry from a self-join result. When
+// more than k+1 points tie at distance zero, the query's own entry may
+// have lost the tie-break to lower IDs and be absent — then the last (and
+// also zero-distance) entry is dropped instead, leaving k entries whose
+// distance multiset is the true top-k over the other points either way.
+func dropSelf(ns []Neighbor, qid int32) []Neighbor {
+	for i, n := range ns {
+		if n.ID == qid {
+			return append(ns[:i], ns[i+1:]...)
+		}
+	}
+	if len(ns) == 0 {
+		return ns
+	}
+	return ns[:len(ns)-1]
+}
+
+// Outlier is one detected outlier: a point ID and its k-distance.
+type Outlier struct {
+	ID    int32
+	KDist float64
+}
+
+// Outliers runs distance-based outlier detection (Knorr/Ng style, ranked
+// variant): the top-n points of ds by k-distance, descending, ties broken
+// toward the lower ID.
+func Outliers(ctx context.Context, sess *dag.Session, ds *points.Dataset, k, n int, cfg Config) ([]Outlier, *Result, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("knnjoin: outlier count must be at least 1, got %d", n)
+	}
+	kd, res, err := KDistances(ctx, sess, ds, k, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	all := make([]Outlier, len(kd))
+	for i, d := range kd {
+		all[i] = Outlier{ID: int32(i), KDist: d}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		return all[i].KDist > all[j].KDist ||
+			(all[i].KDist == all[j].KDist && all[i].ID < all[j].ID)
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n:n], res, nil
+}
+
+// Profile is a k-distance profile: every point's k-distance sorted
+// descending — the curve DBSCAN's eps is read off of.
+type Profile struct {
+	K      int
+	Sorted []float64
+}
+
+// KDistanceProfile computes the sorted k-distance curve of ds.
+func KDistanceProfile(ctx context.Context, sess *dag.Session, ds *points.Dataset, k int, cfg Config) (*Profile, *Result, error) {
+	kd, res, err := KDistances(ctx, sess, ds, k, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	sorted := append([]float64(nil), kd...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	return &Profile{K: k, Sorted: sorted}, res, nil
+}
+
+// SuggestEps reads an eps off the profile: the value just below the
+// largest consecutive drop of the descending curve (the "knee"), which
+// separates the outlier plateau from the cluster interior. The first
+// maximal drop wins on ties. A flat curve returns its constant value.
+func (p *Profile) SuggestEps() float64 {
+	if len(p.Sorted) == 0 {
+		return 0
+	}
+	best, at := -1.0, len(p.Sorted)-1
+	for i := 0; i+1 < len(p.Sorted); i++ {
+		if gap := p.Sorted[i] - p.Sorted[i+1]; gap > best {
+			best, at = gap, i+1
+		}
+	}
+	return p.Sorted[at]
+}
+
+// ScoreNearestCentroid assigns every point of ds to its nearest centroid
+// (1-NN against the centroid set, exact broadcast join — bucketing buys
+// nothing against a handful of rows) and returns the assignment and the
+// distances. Ties resolve to the lowest centroid ID.
+func ScoreNearestCentroid(ctx context.Context, sess *dag.Session, ds, centroids *points.Dataset, cfg Config) ([]int32, []float64, *Result, error) {
+	res, err := RunExact(ctx, sess, ds, centroids, 1, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	assign := make([]int32, ds.N())
+	dist := make([]float64, ds.N())
+	for qid, ns := range res.Neighbors {
+		if len(ns) != 1 {
+			return nil, nil, nil, fmt.Errorf("knnjoin: query %d scored %d centroids, want 1", qid, len(ns))
+		}
+		assign[qid] = ns[0].ID
+		dist[qid] = math.Sqrt(ns[0].D2)
+	}
+	return assign, dist, res, nil
+}

@@ -14,6 +14,7 @@ package lsh
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -118,4 +119,49 @@ func (l *Layouts) Keys(p points.Vector) []string {
 		keys[m] = strconv.Itoa(m) + "|" + g.Key(p)
 	}
 	return keys
+}
+
+// GuaranteeRadius returns a radius g such that every point strictly within
+// distance g of p shares p's partition key in at least one layout — the
+// soundness certificate of the kNN-join's bucketed candidate pass.
+//
+// For one hash function, moving a point by Euclidean distance d shifts its
+// projection (a·x + b)/w by at most ‖a‖·d/w slot widths, so p keeps any
+// neighbor within w·min(frac, 1−frac)/‖a‖, where frac ∈ [0, 1) is the
+// fractional position of p's projection inside its slot. A layout keeps the
+// neighbor when every one of its π functions does (the min over functions),
+// and one layout suffices (the max over layouts). A zero direction vector
+// never splits and contributes an infinite margin.
+//
+// The returned radius is deflated by one part in 2²⁰ to absorb the
+// floating-point slop of the projection arithmetic, so callers comparing a
+// verified k-th distance against it fail toward "re-verify exactly", never
+// toward a wrong accept.
+func (l *Layouts) GuaranteeRadius(p points.Vector) float64 {
+	best := 0.0
+	for _, g := range l.Groups {
+		margin := math.Inf(1)
+		for _, f := range g.Funcs {
+			v := (f.A.Dot(p) + f.B) / f.W
+			frac := v - math.Floor(v)
+			edge := frac
+			if 1-frac < edge {
+				edge = 1 - frac
+			}
+			n2 := 0.0
+			for _, a := range f.A {
+				n2 += a * a
+			}
+			if n2 == 0 {
+				continue // constant projection: this function never splits
+			}
+			if m := edge * f.W / math.Sqrt(n2); m < margin {
+				margin = m
+			}
+		}
+		if margin > best {
+			best = margin
+		}
+	}
+	return best * (1 - 0x1p-20)
 }

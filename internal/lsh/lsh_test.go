@@ -174,3 +174,44 @@ func TestGroupKeyANDSemantics(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: any point strictly within GuaranteeRadius of p shares p's key
+// in at least one layout — the certificate the kNN-join fallback test
+// relies on. Probed with random directions at fractions of the radius.
+func TestGuaranteeRadius(t *testing.T) {
+	rng := points.NewRand(31)
+	l := NewLayouts(3, 4, 3, 2.5, 7)
+	for trial := 0; trial < 200; trial++ {
+		p := points.Vector{rng.NormFloat64() * 5, rng.NormFloat64() * 5, rng.NormFloat64() * 5}
+		g := l.GuaranteeRadius(p)
+		if g < 0 || math.IsNaN(g) {
+			t.Fatalf("GuaranteeRadius(%v) = %v", p, g)
+		}
+		if g == 0 || math.IsInf(g, 1) {
+			continue
+		}
+		pk := l.Keys(p)
+		for _, frac := range []float64{0.1, 0.5, 0.9, 0.999} {
+			dir := points.Vector{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+			n := math.Sqrt(dir.Dot(dir))
+			if n == 0 {
+				continue
+			}
+			q := make(points.Vector, 3)
+			for j := range q {
+				q[j] = p[j] + dir[j]/n*g*frac
+			}
+			qk := l.Keys(q)
+			shared := false
+			for m := range pk {
+				if pk[m] == qk[m] {
+					shared = true
+					break
+				}
+			}
+			if !shared {
+				t.Fatalf("point at %.3f·g of %v shares no layout key", frac, p)
+			}
+		}
+	}
+}
